@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harness binaries (one per paper
+// table/figure, see DESIGN.md's per-experiment index).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "circuits/circuits.h"
+#include "core/synthesizer.h"
+
+namespace mfd::bench {
+
+struct FlowRun {
+  std::string circuit;
+  int inputs = 0;
+  int outputs = 0;
+  int luts = 0;
+  int clb_greedy = 0;
+  int clb_matching = 0;
+  int gates = 0;
+  int depth = 0;
+  DecomposeStats stats;
+  double seconds = 0.0;
+};
+
+/// Runs one synthesis flow on a named benchmark in a fresh manager.
+inline FlowRun run_flow(const std::string& name, const SynthesisOptions& opts) {
+  bdd::Manager m;
+  const circuits::Benchmark bench = circuits::build(name, m);
+  Synthesizer synth(opts);
+  const SynthesisResult r = synth.run(bench);
+  FlowRun row;
+  row.circuit = name;
+  row.inputs = bench.num_inputs;
+  row.outputs = static_cast<int>(bench.outputs.size());
+  row.luts = r.network.count_luts();
+  row.clb_greedy = r.clb_greedy.num_clbs;
+  row.clb_matching = r.clb_matching.num_clbs;
+  row.gates = r.network.count_gates();
+  row.depth = r.network.depth();
+  row.stats = r.stats;
+  row.seconds = r.seconds;
+  return row;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace mfd::bench

@@ -1,0 +1,67 @@
+// The [20] component experiment: ROBDD-size minimization of incompletely
+// specified functions by symmetry-creating don't-care assignment + restrict.
+// Sweeps the don't-care density of randomized specifications and reports the
+// size of the chosen extension relative to the extension-zero baseline —
+// the effect the paper's step 1 relies on.
+#include "bench_common.h"
+#include "sym/minimize.h"
+#include "testlib_shim.h"
+
+namespace {
+
+struct Row {
+  int dc_percent = 0;
+  double avg_before = 0;
+  double avg_after = 0;
+  double avg_symmetries = 0;
+};
+
+std::vector<Row> g_rows;
+
+void run_density(benchmark::State& state, int dc_percent) {
+  for (auto _ : state) {
+    constexpr int kTrials = 12, kVars = 10;
+    Row row;
+    row.dc_percent = dc_percent;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      mfd::Rng rng(static_cast<std::uint64_t>(dc_percent) * 131 + trial);
+      mfd::bdd::Manager m(kVars);
+      // Random on-set; each input is a don't care with probability dc%.
+      mfd::bdd::Bdd on = mfd::bench_shim::random_function(m, rng, kVars, 24);
+      mfd::bdd::Bdd dc = mfd::bench_shim::random_density(m, rng, kVars, dc_percent);
+      const mfd::Isf f(on & !dc, !dc);
+      const mfd::MinimizeResult r = mfd::minimize_robdd_size(f);
+      row.avg_before += static_cast<double>(r.size_before) / kTrials;
+      row.avg_after += static_cast<double>(r.size_after) / kTrials;
+      row.avg_symmetries += static_cast<double>(r.symmetries_created) / kTrials;
+    }
+    g_rows.push_back(row);
+    state.counters["before"] = row.avg_before;
+    state.counters["after"] = row.avg_after;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const int dc : {0, 10, 25, 50, 75})
+    benchmark::RegisterBenchmark(("robdd_minimize/dc" + std::to_string(dc)).c_str(),
+                                 [dc](benchmark::State& s) { run_density(s, dc); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n[20]-style experiment: ROBDD size of the chosen extension vs\n");
+  std::printf("extension-zero, by don't-care density (10-var random specs).\n\n");
+  std::printf("%5s | %10s %10s %7s | %10s\n", "dc%", "ext-zero", "minimized",
+               "ratio", "symmetries");
+  mfd::bench::print_rule(52);
+  for (const Row& r : g_rows)
+    std::printf("%4d%% | %10.1f %10.1f %6.0f%% | %10.1f\n", r.dc_percent,
+                 r.avg_before, r.avg_after,
+                 100.0 * r.avg_after / std::max(1.0, r.avg_before), r.avg_symmetries);
+  std::printf("\nshape check: more don't cares -> smaller chosen extensions;\n");
+  std::printf("the curve flattens once symmetries saturate.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 2 of the paper: mulop-dcII vs FGMap / mis-pga(new) / IMODEC.
+//
+// mulop-dcII = mulop-dc with the LUT->CLB merge solved as a
+// maximum-cardinality matching problem [13] (blossom algorithm) instead of
+// first fit. The competitor tools are closed/unavailable; we substitute an
+// in-house simpler mapper ("noshare-nodc": per-output decomposition, no
+// common decomposition functions, all DCs := 0 — structurally similar to a
+// single-function decomposition mapper) and report it next to our flow.
+// The paper's claim to reproduce in *shape*: mulop-dcII produces the
+// smallest CLB counts, and matching-based merge never loses to first fit.
+#include <map>
+
+#include "bench_common.h"
+
+namespace {
+
+using mfd::bench::FlowRun;
+using mfd::bench::run_flow;
+
+struct Row {
+  FlowRun dcII;      // mulop-dcII (matching merge)
+  FlowRun noshare;   // in-house competitor baseline
+};
+
+std::map<std::string, Row> g_rows;
+
+void run_circuit(benchmark::State& state, const std::string& name) {
+  for (auto _ : state) {
+    Row row;
+    row.dcII = run_flow(name, mfd::preset_mulop_dc(5));
+    row.noshare = run_flow(name, mfd::preset_noshare_nodc(5));
+    g_rows[name] = row;
+    state.counters["clb_mulop_dcII"] = row.dcII.clb_matching;
+    state.counters["clb_noshare_nodc"] = row.noshare.clb_matching;
+  }
+}
+
+void print_table() {
+  std::printf("\nTable 2: CLB counts for the XC3000 device, matching-based\n");
+  std::printf("LUT->CLB merge (mulop-dcII) vs an in-house simpler mapper\n");
+  std::printf("(noshare-nodc: per-output, no sharing, no DC exploitation;\n");
+  std::printf("stand-in for the unavailable FGMap / mis-pga(new) / IMODEC).\n\n");
+  std::printf("%-8s | %11s %11s | %11s | %7s\n", "circuit", "mulop-dcII",
+               "noshare", "dcII-greedy", "ratio");
+  mfd::bench::print_rule(62);
+  long total_dcII = 0, total_noshare = 0;
+  for (const auto& [name, row] : g_rows) {
+    total_dcII += row.dcII.clb_matching;
+    total_noshare += row.noshare.clb_matching;
+    std::printf("%-8s | %11d %11d | %11d | %6.2f%%\n", name.c_str(),
+                 row.dcII.clb_matching, row.noshare.clb_matching, row.dcII.clb_greedy,
+                 100.0 * row.dcII.clb_matching / std::max(1, row.noshare.clb_matching));
+  }
+  mfd::bench::print_rule(62);
+  std::printf("%-8s | %11ld %11ld |\n", "total", total_dcII, total_noshare);
+  std::printf("\nshape checks: (a) mulop-dcII total < noshare-nodc total;\n");
+  std::printf("(b) matching merge (col 1) <= first-fit merge (col 3) per row.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const std::string& name : mfd::circuits::table_rows())
+    benchmark::RegisterBenchmark(("table2/" + name).c_str(),
+                                 [name](benchmark::State& s) { run_circuit(s, name); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

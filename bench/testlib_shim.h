@@ -1,0 +1,39 @@
+// Small random-function builders for the benchmark harness (kept separate
+// from tests/testlib.h so bench binaries do not depend on the test tree).
+#pragma once
+
+#include <cmath>
+
+#include "bdd/bdd.h"
+#include "util/rng.h"
+
+namespace mfd::bench_shim {
+
+/// Random cube-union function over n variables.
+inline bdd::Bdd random_function(bdd::Manager& m, Rng& rng, int n, int cubes) {
+  bdd::Bdd f = m.bdd_false();
+  for (int c = 0; c < cubes; ++c) {
+    bdd::Bdd cube = m.bdd_true();
+    for (int v = 0; v < n; ++v)
+      if (rng.chance(1, 3)) cube &= m.literal(v, rng.flip());
+    f |= cube;
+  }
+  return f;
+}
+
+/// A set covering roughly `percent` of the input space, built from cubes so
+/// it has structure a DC-assignment heuristic can exploit.
+inline bdd::Bdd random_density(bdd::Manager& m, Rng& rng, int n, int percent) {
+  if (percent <= 0) return m.bdd_false();
+  bdd::Bdd set = m.bdd_false();
+  // Each literal halves a cube's density; aim cubes at ~6% each and add
+  // until the target is reached.
+  while (m.sat_count(set.id(), n) * 100.0 < percent * std::ldexp(1.0, n)) {
+    bdd::Bdd cube = m.bdd_true();
+    for (int lit = 0; lit < 4; ++lit) cube &= m.literal(rng.range(0, n - 1), rng.flip());
+    set |= cube;
+  }
+  return set;
+}
+
+}  // namespace mfd::bench_shim

@@ -1,0 +1,54 @@
+// Inter-manager transfer and debug output.
+#include <sstream>
+#include <unordered_map>
+
+#include "bdd/bdd.h"
+
+namespace mfd::bdd {
+
+NodeId Manager::transfer_from(const Manager& src, NodeId f) {
+  std::unordered_map<NodeId, NodeId> memo;
+  auto rec = [&](auto&& self, NodeId n) -> NodeId {
+    if (src.is_terminal(n)) return n;  // terminal ids coincide by construction
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    const NodeId lo = self(self, src.node_lo(n));
+    const NodeId hi = self(self, src.node_hi(n));
+    // The destination order may differ, so rebuild with ITE.
+    const NodeId xv = mk(static_cast<int>(src.node_var(n)), kFalse, kTrue);
+    const NodeId r = ite_rec(xv, hi, lo);
+    memo.emplace(n, r);
+    return r;
+  };
+  return rec(rec, f);
+}
+
+std::string Manager::to_dot(const std::vector<NodeId>& roots,
+                            const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  os << "digraph bdd {\n  rankdir=TB;\n";
+  os << "  n0 [label=\"0\", shape=box];\n  n1 [label=\"1\", shape=box];\n";
+  std::unordered_map<NodeId, bool> seen;
+  std::vector<NodeId> stack;
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const std::string name = i < names.size() ? names[i] : "f" + std::to_string(i);
+    os << "  r" << i << " [label=\"" << name << "\", shape=plaintext];\n";
+    os << "  r" << i << " -> n" << roots[i] << ";\n";
+    stack.push_back(roots[i]);
+  }
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (is_terminal(n) || seen[n]) continue;
+    seen[n] = true;
+    os << "  n" << n << " [label=\"x" << nodes_[n].var << "\"];\n";
+    os << "  n" << n << " -> n" << nodes_[n].lo << " [style=dashed];\n";
+    os << "  n" << n << " -> n" << nodes_[n].hi << ";\n";
+    stack.push_back(nodes_[n].lo);
+    stack.push_back(nodes_[n].hi);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mfd::bdd

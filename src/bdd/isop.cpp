@@ -1,0 +1,86 @@
+#include "bdd/isop.h"
+
+#include <cassert>
+
+namespace mfd::bdd {
+namespace {
+
+/// Recursive ISOP; returns the cover and (through `g`) its BDD, which the
+/// recursion needs to subtract already-covered minterms.
+std::vector<Cube> isop_rec(Manager& m, NodeId lower, NodeId upper, NodeId* g) {
+  assert(m.ite(lower, kTrue, upper) == kTrue || true);  // lower <= upper
+  if (lower == kFalse) {
+    *g = kFalse;
+    return {};
+  }
+  if (upper == kTrue) {
+    *g = kTrue;
+    return {Cube{}};
+  }
+
+  const int lv = m.node_level(lower), uv = m.node_level(upper);
+  const int top = std::min(lv, uv);
+  const int x = m.var_at_level(top);
+
+  const NodeId l0 = lv == top ? m.node_lo(lower) : lower;
+  const NodeId l1 = lv == top ? m.node_hi(lower) : lower;
+  const NodeId u0 = uv == top ? m.node_lo(upper) : upper;
+  const NodeId u1 = uv == top ? m.node_hi(upper) : upper;
+
+  // Minterms that can only be covered with a !x (resp. x) literal.
+  const NodeId need0 = m.apply_and(l0, m.apply_not(u1));
+  NodeId g0 = kFalse;
+  std::vector<Cube> c0 = isop_rec(m, need0, u0, &g0);
+
+  const NodeId need1 = m.apply_and(l1, m.apply_not(u0));
+  NodeId g1 = kFalse;
+  std::vector<Cube> c1 = isop_rec(m, need1, u1, &g1);
+
+  // What remains of L once the literal-bearing cubes are in.
+  const NodeId rest = m.apply_or(m.apply_and(l0, m.apply_not(g0)),
+                                 m.apply_and(l1, m.apply_not(g1)));
+  NodeId gd = kFalse;
+  std::vector<Cube> cd = isop_rec(m, rest, m.apply_and(u0, u1), &gd);
+
+  std::vector<Cube> cover;
+  cover.reserve(c0.size() + c1.size() + cd.size());
+  for (Cube& c : c0) {
+    c.literals.emplace_back(x, false);
+    cover.push_back(std::move(c));
+  }
+  for (Cube& c : c1) {
+    c.literals.emplace_back(x, true);
+    cover.push_back(std::move(c));
+  }
+  for (Cube& c : cd) cover.push_back(std::move(c));
+
+  const NodeId xb = m.mk(x, kFalse, kTrue);
+  *g = m.apply_or(m.ite(xb, g1, g0), gd);
+  return cover;
+}
+
+}  // namespace
+
+std::vector<Cube> isop(Manager& m, NodeId lower, NodeId upper) {
+  NodeId g = kFalse;
+  std::vector<Cube> cover = isop_rec(m, lower, upper, &g);
+  // The result function must lie in the interval.
+  assert(m.apply_and(lower, m.apply_not(g)) == kFalse);
+  assert(m.apply_and(g, m.apply_not(upper)) == kFalse);
+  return cover;
+}
+
+NodeId cover_to_bdd(Manager& m, const std::vector<Cube>& cover) {
+  NodeId f = kFalse;
+  for (const Cube& cube : cover) {
+    NodeId term = kTrue;
+    for (const auto& [var, phase] : cube.literals) {
+      const NodeId lit = phase ? m.mk(var, kFalse, kTrue) : m.mk(var, kTrue, kFalse);
+      term = m.apply_and(term, lit);
+    }
+    f = m.apply_or(f, term);
+  }
+  return f;
+}
+
+}  // namespace mfd::bdd

@@ -1,0 +1,263 @@
+#include "bdd/bdd.h"
+
+#include <cassert>
+
+namespace mfd::bdd {
+
+namespace {
+constexpr std::size_t kCacheSize = std::size_t{1} << 18;  // entries
+constexpr std::uint32_t kRefSaturated = 0xFFFFFFFFu;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(Manager* mgr, NodeId id) : mgr_(mgr), id_(id) {
+  if (mgr_) mgr_->ref(id_);
+}
+
+Bdd::Bdd(const Bdd& other) : mgr_(other.mgr_), id_(other.id_) {
+  if (mgr_) mgr_->ref(id_);
+}
+
+Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), id_(other.id_) {
+  other.mgr_ = nullptr;
+  other.id_ = kFalse;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) {
+  if (this == &other) return *this;
+  if (other.mgr_) other.mgr_->ref(other.id_);
+  release();
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  other.mgr_ = nullptr;
+  other.id_ = kFalse;
+  return *this;
+}
+
+Bdd::~Bdd() { release(); }
+
+void Bdd::release() {
+  if (mgr_) mgr_->deref(id_);
+  mgr_ = nullptr;
+  id_ = kFalse;
+}
+
+// ---------------------------------------------------------------------------
+// Manager: construction, variables
+// ---------------------------------------------------------------------------
+
+Manager::Manager(int num_vars) {
+  nodes_.reserve(1024);
+  // Terminal nodes occupy ids 0 and 1; immortal (saturated refs).
+  nodes_.push_back(Node{kTerminalVar, kFalse, kFalse, kInvalid, kRefSaturated});
+  nodes_.push_back(Node{kTerminalVar, kTrue, kTrue, kInvalid, kRefSaturated});
+  cache_.resize(kCacheSize);
+  for (int i = 0; i < num_vars; ++i) add_var();
+}
+
+Manager::~Manager() = default;
+
+int Manager::add_var() {
+  const int v = num_vars();
+  var_to_level_.push_back(v);
+  level_to_var_.push_back(v);
+  Subtable t;
+  t.buckets.assign(16, kInvalid);
+  subtables_.push_back(std::move(t));
+  return v;
+}
+
+Bdd Manager::var(int v) { return wrap(mk(v, kFalse, kTrue)); }
+
+Bdd Manager::literal(int v, bool positive) {
+  return positive ? wrap(mk(v, kFalse, kTrue)) : wrap(mk(v, kTrue, kFalse));
+}
+
+// ---------------------------------------------------------------------------
+// Unique table
+// ---------------------------------------------------------------------------
+
+std::size_t Manager::hash_triple(std::uint32_t var, NodeId lo, NodeId hi) {
+  std::uint64_t h = var;
+  h = h * 0x9e3779b97f4a7c15ULL + lo;
+  h = (h ^ (h >> 29)) * 0xbf58476d1ce4e5b9ULL + hi;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h);
+}
+
+void Manager::table_insert(Subtable& t, NodeId n) {
+  const Node& node = nodes_[n];
+  const std::size_t b = hash_triple(node.var, node.lo, node.hi) & (t.buckets.size() - 1);
+  nodes_[n].next = t.buckets[b];
+  t.buckets[b] = n;
+  ++t.count;
+  maybe_resize(t);
+}
+
+void Manager::table_remove(Subtable& t, NodeId n) {
+  const Node& node = nodes_[n];
+  const std::size_t b = hash_triple(node.var, node.lo, node.hi) & (t.buckets.size() - 1);
+  NodeId cur = t.buckets[b];
+  if (cur == n) {
+    t.buckets[b] = node.next;
+  } else {
+    while (nodes_[cur].next != n) {
+      cur = nodes_[cur].next;
+      assert(cur != kInvalid && "node not found in its subtable");
+    }
+    nodes_[cur].next = node.next;
+  }
+  --t.count;
+}
+
+void Manager::maybe_resize(Subtable& t) {
+  if (t.count <= t.buckets.size() * 2) return;
+  std::vector<NodeId> old = std::move(t.buckets);
+  t.buckets.assign(old.size() * 4, kInvalid);
+  for (NodeId head : old) {
+    for (NodeId n = head; n != kInvalid;) {
+      const NodeId next = nodes_[n].next;
+      const std::size_t b =
+          hash_triple(nodes_[n].var, nodes_[n].lo, nodes_[n].hi) & (t.buckets.size() - 1);
+      nodes_[n].next = t.buckets[b];
+      t.buckets[b] = n;
+      n = next;
+    }
+  }
+}
+
+NodeId Manager::allocate_node(std::uint32_t var, NodeId lo, NodeId hi) {
+  NodeId n;
+  if (!free_list_.empty()) {
+    n = free_list_.back();
+    free_list_.pop_back();
+    nodes_[n] = Node{var, lo, hi, kInvalid, 0};
+  } else {
+    n = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{var, lo, hi, kInvalid, 0});
+  }
+  ++live_nodes_;
+  if (live_nodes_ > stats_.peak_nodes) stats_.peak_nodes = live_nodes_;
+  return n;
+}
+
+NodeId Manager::mk(int var, NodeId lo, NodeId hi) {
+  if (lo == hi) return lo;
+  assert(node_level(lo) > var_to_level_[var] && node_level(hi) > var_to_level_[var] &&
+         "children must be strictly below the node's level");
+  Subtable& t = subtables_[var];
+  const std::size_t b =
+      hash_triple(static_cast<std::uint32_t>(var), lo, hi) & (t.buckets.size() - 1);
+  for (NodeId n = t.buckets[b]; n != kInvalid; n = nodes_[n].next) {
+    const Node& node = nodes_[n];
+    if (node.lo == lo && node.hi == hi) {
+      ++stats_.unique_hits;
+      return n;
+    }
+  }
+  const NodeId n = allocate_node(static_cast<std::uint32_t>(var), lo, hi);
+  ref(lo);
+  ref(hi);
+  // allocate_node counted the new node as live, but it has ref 0 until a
+  // parent or handle claims it; track it as dead so GC accounting balances.
+  --live_nodes_;
+  ++dead_nodes_;
+  table_insert(t, n);
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Reference counting and garbage collection
+// ---------------------------------------------------------------------------
+
+void Manager::ref(NodeId n) {
+  Node& node = nodes_[n];
+  if (node.ref == kRefSaturated) return;
+  if (node.ref == 0) {
+    ++live_nodes_;
+    --dead_nodes_;
+  }
+  ++node.ref;
+}
+
+void Manager::deref(NodeId n) {
+  Node& node = nodes_[n];
+  if (node.ref == kRefSaturated) return;
+  assert(node.ref > 0 && "deref of unreferenced node");
+  --node.ref;
+  if (node.ref == 0) {
+    --live_nodes_;
+    ++dead_nodes_;
+  }
+}
+
+void Manager::garbage_collect() {
+  assert(!in_reorder_);
+  ++stats_.gc_runs;
+  // Process levels top-down: every parent sits at a strictly smaller level
+  // than its children, so by the time we scan a level all of its dead parents
+  // have already released their edges and one pass suffices.
+  for (int level = 0; level < num_vars(); ++level) {
+    Subtable& t = subtables_[level_to_var_[level]];
+    for (auto& head : t.buckets) {
+      NodeId* link = &head;
+      while (*link != kInvalid) {
+        const NodeId n = *link;
+        Node& node = nodes_[n];
+        if (node.ref == 0) {
+          *link = node.next;
+          --t.count;
+          deref(node.lo);
+          deref(node.hi);
+          node.var = kTerminalVar;
+          node.lo = node.hi = kInvalid;
+          free_list_.push_back(n);
+          --dead_nodes_;
+        } else {
+          link = &node.next;
+        }
+      }
+    }
+  }
+  // Node ids may now be recycled: drop every cached operation result.
+  for (auto& e : cache_) e = CacheEntry{};
+}
+
+// ---------------------------------------------------------------------------
+// Computed table
+// ---------------------------------------------------------------------------
+
+NodeId Manager::cache_lookup(std::uint32_t op, NodeId f, NodeId g, NodeId h) {
+  ++stats_.cache_lookups;
+  const std::uint64_t k1 = (static_cast<std::uint64_t>(op) << 32) | f;
+  const std::uint64_t k2 = (static_cast<std::uint64_t>(g) << 32) | h;
+  std::uint64_t idx = k1 * 0x9e3779b97f4a7c15ULL ^ k2 * 0xc2b2ae3d27d4eb4fULL;
+  idx ^= idx >> 29;
+  const CacheEntry& e = cache_[idx & (kCacheSize - 1)];
+  if (e.key == k1 && e.key2 == k2) {
+    ++stats_.cache_hits;
+    return e.result;
+  }
+  return kInvalid;
+}
+
+void Manager::cache_insert(std::uint32_t op, NodeId f, NodeId g, NodeId h, NodeId r) {
+  const std::uint64_t k1 = (static_cast<std::uint64_t>(op) << 32) | f;
+  const std::uint64_t k2 = (static_cast<std::uint64_t>(g) << 32) | h;
+  std::uint64_t idx = k1 * 0x9e3779b97f4a7c15ULL ^ k2 * 0xc2b2ae3d27d4eb4fULL;
+  idx ^= idx >> 29;
+  cache_[idx & (kCacheSize - 1)] = CacheEntry{k1, k2, r};
+}
+
+}  // namespace mfd::bdd

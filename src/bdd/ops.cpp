@@ -1,0 +1,330 @@
+// Recursive BDD operations. None of these run garbage collection, so
+// intermediate results (reference count zero) are safe until the caller
+// anchors the final result in a handle.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "bdd/bdd.h"
+
+namespace mfd::bdd {
+
+// ---------------------------------------------------------------------------
+// Bdd handle operators
+// ---------------------------------------------------------------------------
+
+Bdd Bdd::operator&(const Bdd& o) const { return mgr_->wrap(mgr_->apply_and(id_, o.id_)); }
+Bdd Bdd::operator|(const Bdd& o) const { return mgr_->wrap(mgr_->apply_or(id_, o.id_)); }
+Bdd Bdd::operator^(const Bdd& o) const { return mgr_->wrap(mgr_->apply_xor(id_, o.id_)); }
+Bdd Bdd::operator!() const { return mgr_->wrap(mgr_->apply_not(id_)); }
+
+Bdd Bdd::cofactor(int var, bool value) const {
+  return mgr_->wrap(mgr_->cofactor(id_, var, value));
+}
+
+std::size_t Bdd::size() const { return mgr_->dag_size(id_); }
+
+// ---------------------------------------------------------------------------
+// ITE
+// ---------------------------------------------------------------------------
+
+NodeId Manager::ite(NodeId f, NodeId g, NodeId h) { return ite_rec(f, g, h); }
+
+NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h) {
+  // Terminal and trivial cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  if (f == g) g = kTrue;   // ite(f, f, h) == ite(f, 1, h)
+  if (f == h) h = kFalse;  // ite(f, g, f) == ite(f, g, 0)
+  if (g == kTrue && h == kFalse) return f;
+
+  NodeId r = cache_lookup(kOpIte, f, g, h);
+  if (r != kInvalid) return r;
+
+  const int lf = node_level(f), lg = node_level(g), lh = node_level(h);
+  const int top = std::min(lf, std::min(lg, lh));
+  const int v = level_to_var_[top];
+
+  const NodeId f0 = lf == top ? nodes_[f].lo : f;
+  const NodeId f1 = lf == top ? nodes_[f].hi : f;
+  const NodeId g0 = lg == top ? nodes_[g].lo : g;
+  const NodeId g1 = lg == top ? nodes_[g].hi : g;
+  const NodeId h0 = lh == top ? nodes_[h].lo : h;
+  const NodeId h1 = lh == top ? nodes_[h].hi : h;
+
+  const NodeId r0 = ite_rec(f0, g0, h0);
+  const NodeId r1 = ite_rec(f1, g1, h1);
+  r = mk(v, r0, r1);
+  cache_insert(kOpIte, f, g, h, r);
+  return r;
+}
+
+NodeId Manager::apply_xor(NodeId f, NodeId g) { return xor_rec(f, g); }
+
+NodeId Manager::xor_rec(NodeId f, NodeId g) {
+  if (f == g) return kFalse;
+  if (f == kFalse) return g;
+  if (g == kFalse) return f;
+  if (f == kTrue) return ite_rec(g, kFalse, kTrue);
+  if (g == kTrue) return ite_rec(f, kFalse, kTrue);
+  if (f > g) std::swap(f, g);  // commutative: canonicalize for the cache
+
+  NodeId r = cache_lookup(kOpXor, f, g, 0);
+  if (r != kInvalid) return r;
+
+  const int lf = node_level(f), lg = node_level(g);
+  const int top = std::min(lf, lg);
+  const int v = level_to_var_[top];
+  const NodeId f0 = lf == top ? nodes_[f].lo : f;
+  const NodeId f1 = lf == top ? nodes_[f].hi : f;
+  const NodeId g0 = lg == top ? nodes_[g].lo : g;
+  const NodeId g1 = lg == top ? nodes_[g].hi : g;
+
+  r = mk(v, xor_rec(f0, g0), xor_rec(f1, g1));
+  cache_insert(kOpXor, f, g, 0, r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Cofactors and quantification
+// ---------------------------------------------------------------------------
+
+NodeId Manager::cofactor(NodeId f, int var, bool value) {
+  return cofactor_rec(f, var, value);
+}
+
+NodeId Manager::cofactor_rec(NodeId f, int var, bool value) {
+  if (is_terminal(f)) return f;
+  const int lv = var_to_level_[var];
+  const int lf = node_level(f);
+  if (lf > lv) return f;  // var sits above f's top: f does not depend on it
+  if (lf == lv) return value ? nodes_[f].hi : nodes_[f].lo;
+
+  const NodeId tag = static_cast<NodeId>(var) * 2 + (value ? 1 : 0);
+  NodeId r = cache_lookup(kOpCofactor, f, tag, 0);
+  if (r != kInvalid) return r;
+  r = mk(static_cast<int>(nodes_[f].var), cofactor_rec(nodes_[f].lo, var, value),
+         cofactor_rec(nodes_[f].hi, var, value));
+  cache_insert(kOpCofactor, f, tag, 0, r);
+  return r;
+}
+
+NodeId Manager::cofactor_cube(NodeId f, const std::vector<std::pair<int, bool>>& a) {
+  NodeId r = f;
+  for (const auto& [v, val] : a) r = cofactor_rec(r, v, val);
+  return r;
+}
+
+NodeId Manager::quant_var_rec(NodeId f, int var, bool existential) {
+  if (is_terminal(f)) return f;
+  const int lv = var_to_level_[var];
+  const int lf = node_level(f);
+  if (lf > lv) return f;
+  if (lf == lv)
+    return existential ? ite_rec(nodes_[f].lo, kTrue, nodes_[f].hi)
+                       : ite_rec(nodes_[f].lo, nodes_[f].hi, kFalse);
+
+  const std::uint32_t op = existential ? kOpExists : kOpForall;
+  NodeId r = cache_lookup(op, f, static_cast<NodeId>(var), 0);
+  if (r != kInvalid) return r;
+  r = mk(static_cast<int>(nodes_[f].var),
+         quant_var_rec(nodes_[f].lo, var, existential),
+         quant_var_rec(nodes_[f].hi, var, existential));
+  cache_insert(op, f, static_cast<NodeId>(var), 0, r);
+  return r;
+}
+
+NodeId Manager::exists(NodeId f, const std::vector<int>& vars) {
+  NodeId r = f;
+  for (int v : vars) r = quant_var_rec(r, v, /*existential=*/true);
+  return r;
+}
+
+NodeId Manager::forall(NodeId f, const std::vector<int>& vars) {
+  NodeId r = f;
+  for (int v : vars) r = quant_var_rec(r, v, /*existential=*/false);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Composition, permutation
+// ---------------------------------------------------------------------------
+
+NodeId Manager::compose_rec(NodeId f, int var, NodeId g) {
+  if (is_terminal(f)) return f;
+  const int lv = var_to_level_[var];
+  const int lf = node_level(f);
+  if (lf > lv) return f;
+  if (lf == lv) {
+    // f = (var, lo, hi): substitute g for var.
+    return ite_rec(g, nodes_[f].hi, nodes_[f].lo);
+  }
+  NodeId r = cache_lookup(kOpCompose, f, g, static_cast<NodeId>(var));
+  if (r != kInvalid) return r;
+  const NodeId r0 = compose_rec(nodes_[f].lo, var, g);
+  const NodeId r1 = compose_rec(nodes_[f].hi, var, g);
+  // g's support may reach above f's variable, so rebuild with ITE rather
+  // than mk.
+  const NodeId xv = mk(static_cast<int>(nodes_[f].var), kFalse, kTrue);
+  r = ite_rec(xv, r1, r0);
+  cache_insert(kOpCompose, f, g, static_cast<NodeId>(var), r);
+  return r;
+}
+
+NodeId Manager::compose(NodeId f, int var, NodeId g) { return compose_rec(f, var, g); }
+
+NodeId Manager::restrict_to(NodeId f, NodeId care) {
+  assert(care != kFalse && "restrict needs a satisfiable care set");
+  return restrict_rec(f, care);
+}
+
+NodeId Manager::restrict_rec(NodeId f, NodeId care) {
+  if (care == kTrue || is_terminal(f)) return f;
+  NodeId r = cache_lookup(kOpRestrict, f, care, 0);
+  if (r != kInvalid) return r;
+
+  const int lf = node_level(f), lc = node_level(care);
+  if (lc < lf) {
+    // The care set constrains a variable above f's support: merge its two
+    // halves (the classic or-abstraction step) and continue.
+    r = restrict_rec(f, ite_rec(nodes_[care].lo, kTrue, nodes_[care].hi));
+  } else {
+    const int top = std::min(lf, lc);
+    const int v = level_to_var_[top];
+    const NodeId f0 = lf == top ? nodes_[f].lo : f;
+    const NodeId f1 = lf == top ? nodes_[f].hi : f;
+    const NodeId c0 = lc == top ? nodes_[care].lo : care;
+    const NodeId c1 = lc == top ? nodes_[care].hi : care;
+    if (c0 == kFalse) {
+      // Every v=0 input is a don't care: substitute the sibling entirely.
+      r = restrict_rec(f1, c1);
+    } else if (c1 == kFalse) {
+      r = restrict_rec(f0, c0);
+    } else {
+      r = mk(v, restrict_rec(f0, c0), restrict_rec(f1, c1));
+    }
+  }
+  cache_insert(kOpRestrict, f, care, 0, r);
+  return r;
+}
+
+NodeId Manager::permute_rec(NodeId f, const std::vector<int>& perm,
+                            std::unordered_map<NodeId, NodeId>& memo) {
+  if (is_terminal(f)) return f;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const NodeId r0 = permute_rec(nodes_[f].lo, perm, memo);
+  const NodeId r1 = permute_rec(nodes_[f].hi, perm, memo);
+  const NodeId xv = mk(perm[nodes_[f].var], kFalse, kTrue);
+  const NodeId r = ite_rec(xv, r1, r0);
+  memo.emplace(f, r);
+  return r;
+}
+
+NodeId Manager::permute(NodeId f, const std::vector<int>& perm) {
+  assert(static_cast<int>(perm.size()) == num_vars());
+  std::unordered_map<NodeId, NodeId> memo;
+  return permute_rec(f, perm, memo);
+}
+
+NodeId Manager::swap_vars(NodeId f, int va, int vb) {
+  std::vector<int> perm(static_cast<std::size_t>(num_vars()));
+  for (int i = 0; i < num_vars(); ++i) perm[i] = i;
+  perm[va] = vb;
+  perm[vb] = va;
+  return permute(f, perm);
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+bool Manager::eval(NodeId f, const std::vector<bool>& assignment) const {
+  while (!is_terminal(f)) {
+    const Node& n = nodes_[f];
+    f = assignment[n.var] ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+std::vector<int> Manager::support(NodeId f) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<bool> in_support(static_cast<std::size_t>(num_vars()), false);
+  std::vector<NodeId> stack{f};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (is_terminal(n) || seen[n]) continue;
+    seen[n] = true;
+    in_support[nodes_[n].var] = true;
+    stack.push_back(nodes_[n].lo);
+    stack.push_back(nodes_[n].hi);
+  }
+  std::vector<int> result;
+  for (int v = 0; v < num_vars(); ++v)
+    if (in_support[v]) result.push_back(v);
+  return result;
+}
+
+double Manager::sat_count(NodeId f, int nv) const {
+  std::unordered_map<NodeId, double> memo;
+  const int total_levels = num_vars();
+  // rec(n) = number of satisfying assignments over the variables at levels
+  // [level(n), total_levels).
+  auto rec = [&](auto&& self, NodeId n) -> double {
+    if (n == kFalse) return 0.0;
+    if (n == kTrue) return 1.0;
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    const Node& node = nodes_[n];
+    const int level = var_to_level_[node.var];
+    const double c0 = self(self, node.lo) * std::ldexp(1.0, node_level(node.lo) - level - 1);
+    const double c1 = self(self, node.hi) * std::ldexp(1.0, node_level(node.hi) - level - 1);
+    const double c = c0 + c1;
+    memo.emplace(n, c);
+    return c;
+  };
+  const double over_all = rec(rec, f) * std::ldexp(1.0, node_level(f));
+  return over_all * std::ldexp(1.0, nv - total_levels);
+}
+
+std::vector<bool> Manager::pick_one(NodeId f) const {
+  assert(f != kFalse);
+  std::vector<bool> assignment(static_cast<std::size_t>(num_vars()), false);
+  while (!is_terminal(f)) {
+    const Node& n = nodes_[f];
+    // Every non-false node is satisfiable in a reduced BDD.
+    if (n.lo != kFalse) {
+      assignment[n.var] = false;
+      f = n.lo;
+    } else {
+      assignment[n.var] = true;
+      f = n.hi;
+    }
+  }
+  return assignment;
+}
+
+std::size_t Manager::dag_size(NodeId f) const { return dag_size(std::vector<NodeId>{f}); }
+
+std::size_t Manager::dag_size(const std::vector<NodeId>& roots) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::size_t count = 0;
+  std::vector<NodeId> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (seen[n]) continue;
+    seen[n] = true;
+    ++count;
+    if (!is_terminal(n)) {
+      stack.push_back(nodes_[n].lo);
+      stack.push_back(nodes_[n].hi);
+    }
+  }
+  return count;
+}
+
+}  // namespace mfd::bdd

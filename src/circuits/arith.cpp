@@ -1,0 +1,150 @@
+// Word-level construction helpers and arithmetic benchmark generators.
+#include <cassert>
+
+#include "circuits/circuits.h"
+
+namespace mfd::circuits {
+
+using bdd::Bdd;
+using bdd::Manager;
+
+void ensure_vars(Manager& m, int n) {
+  while (m.num_vars() < n) m.add_var();
+}
+
+void interleave_order(Manager& m, const std::vector<std::vector<int>>& groups) {
+  std::vector<int> order;
+  std::vector<bool> placed(static_cast<std::size_t>(m.num_vars()), false);
+  std::size_t longest = 0;
+  for (const auto& g : groups) longest = std::max(longest, g.size());
+  for (std::size_t i = 0; i < longest; ++i) {
+    for (const auto& g : groups) {
+      if (i < g.size() && !placed[static_cast<std::size_t>(g[i])]) {
+        order.push_back(g[i]);
+        placed[static_cast<std::size_t>(g[i])] = true;
+      }
+    }
+  }
+  for (int v = 0; v < m.num_vars(); ++v)
+    if (!placed[static_cast<std::size_t>(v)]) order.push_back(v);
+  m.set_order(order);
+}
+
+Word input_word(Manager& m, int first, int w) {
+  Word word;
+  word.reserve(static_cast<std::size_t>(w));
+  for (int i = 0; i < w; ++i) word.push_back(m.var(first + i));
+  return word;
+}
+
+Word add_words(const Word& a, const Word& b, Bdd cin) {
+  assert(!a.empty());
+  Manager& m = *a.front().manager();
+  Bdd carry = cin.valid() ? cin : m.bdd_false();
+  const std::size_t w = std::max(a.size(), b.size());
+  Word sum;
+  sum.reserve(w + 1);
+  for (std::size_t i = 0; i < w; ++i) {
+    const Bdd ai = i < a.size() ? a[i] : m.bdd_false();
+    const Bdd bi = i < b.size() ? b[i] : m.bdd_false();
+    sum.push_back(ai ^ bi ^ carry);
+    carry = (ai & bi) | (carry & (ai ^ bi));
+  }
+  sum.push_back(carry);
+  return sum;
+}
+
+Word count_ones(Manager& m, const std::vector<Bdd>& bits) {
+  Word count{m.bdd_false()};
+  for (const Bdd& x : bits) {
+    // count += x, ripple style.
+    Bdd carry = x;
+    for (auto& c : count) {
+      const Bdd s = c ^ carry;
+      carry = c & carry;
+      c = s;
+    }
+    count.push_back(carry);
+  }
+  // Trim leading constant-zero bits beyond ceil(log2(n+1)).
+  while (count.size() > 1 && count.back().is_false()) count.pop_back();
+  return count;
+}
+
+Word multiply_words(const Word& a, const Word& b) {
+  assert(!a.empty() && !b.empty());
+  Manager& m = *a.front().manager();
+  Word acc(a.size() + b.size(), m.bdd_false());
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    // acc += (a & b[j]) << j
+    Bdd carry = m.bdd_false();
+    for (std::size_t i = 0; i < a.size() + 1 && j + i < acc.size(); ++i) {
+      const Bdd pp = i < a.size() ? (a[i] & b[j]) : m.bdd_false();
+      Bdd& slot = acc[j + i];
+      const Bdd s = slot ^ pp ^ carry;
+      carry = (slot & pp) | (carry & (slot ^ pp));
+      slot = s;
+    }
+  }
+  return acc;
+}
+
+bdd::Bdd word_equals(const Word& a, std::uint64_t value) {
+  Manager& m = *a.front().manager();
+  Bdd r = m.bdd_true();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    r &= ((value >> i) & 1) ? a[i] : !a[i];
+  return r;
+}
+
+Benchmark adder(Manager& m, int n) {
+  ensure_vars(m, 2 * n);
+  {
+    std::vector<int> a, b;
+    for (int i = 0; i < n; ++i) a.push_back(i), b.push_back(n + i);
+    interleave_order(m, {a, b});
+  }
+  Benchmark b;
+  b.name = "add" + std::to_string(n);
+  b.num_inputs = 2 * n;
+  b.outputs = add_words(input_word(m, 0, n), input_word(m, n, n));
+  return b;
+}
+
+Benchmark partial_multiplier(Manager& m, int n) {
+  ensure_vars(m, n * n);
+  Benchmark b;
+  b.name = "pm" + std::to_string(n);
+  b.num_inputs = n * n;
+  // Sum of p(i,j) * 2^(i+j) over the multiplication matrix.
+  Word acc(static_cast<std::size_t>(2 * n), m.bdd_false());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      Bdd carry = m.var(i * n + j);
+      for (std::size_t k = static_cast<std::size_t>(i + j); k < acc.size(); ++k) {
+        if (carry.is_false()) break;
+        const Bdd s = acc[k] ^ carry;
+        carry = acc[k] & carry;
+        acc[k] = s;
+      }
+    }
+  }
+  b.outputs = std::move(acc);
+  return b;
+}
+
+Benchmark multiplier(Manager& m, int n) {
+  ensure_vars(m, 2 * n);
+  {
+    std::vector<int> a, b;
+    for (int i = 0; i < n; ++i) a.push_back(i), b.push_back(n + i);
+    interleave_order(m, {a, b});
+  }
+  Benchmark b;
+  b.name = "mult" + std::to_string(n);
+  b.num_inputs = 2 * n;
+  b.outputs = multiply_words(input_word(m, 0, n), input_word(m, n, n));
+  return b;
+}
+
+}  // namespace mfd::circuits

@@ -1,0 +1,74 @@
+#include "core/synthesizer.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "net/simulate.h"
+
+namespace mfd {
+
+SynthesisResult Synthesizer::run(std::vector<Isf> spec,
+                                 const std::vector<int>& pi_vars) const {
+  const auto start = std::chrono::steady_clock::now();
+  SynthesisResult result;
+
+  const std::vector<Isf> original = spec;  // keep for verification
+  result.network = decompose(spec, pi_vars, opts_.decomp, &result.stats);
+
+  if (opts_.decomp.max_bound_extra > 0 && opts_.portfolio_bound_extra) {
+    DecomposeOptions conservative = opts_.decomp;
+    conservative.max_bound_extra = 0;
+    DecomposeStats alt_stats;
+    net::LutNetwork alt = decompose(spec, pi_vars, conservative, &alt_stats);
+    if (alt.count_luts() < result.network.count_luts()) {
+      result.network = std::move(alt);
+      result.stats = alt_stats;
+    }
+  }
+  spec.clear();
+
+  if (opts_.verify) {
+    std::string error;
+    if (!net::check_exact(result.network, original, pi_vars, &error))
+      throw std::runtime_error("synthesis verification failed: " + error);
+    result.verified = true;
+  }
+
+  result.clb_greedy = map::pack_greedy(result.network, opts_.clb);
+  result.clb_matching = map::pack_matching(result.network, opts_.clb);
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+SynthesisResult Synthesizer::run(const circuits::Benchmark& bench) const {
+  std::vector<Isf> spec;
+  spec.reserve(bench.outputs.size());
+  for (const bdd::Bdd& f : bench.outputs) spec.push_back(Isf::completely_specified(f));
+  std::vector<int> pi_vars(static_cast<std::size_t>(bench.num_inputs));
+  for (int i = 0; i < bench.num_inputs; ++i) pi_vars[static_cast<std::size_t>(i)] = i;
+  return run(std::move(spec), pi_vars);
+}
+
+SynthesisOptions preset_mulop_dc(int lut_inputs) {
+  SynthesisOptions opts;
+  opts.decomp.lut_inputs = lut_inputs;
+  return opts;
+}
+
+SynthesisOptions preset_mulopII(int lut_inputs) {
+  SynthesisOptions opts;
+  opts.decomp.lut_inputs = lut_inputs;
+  opts.decomp.exploit_dc = false;
+  return opts;
+}
+
+SynthesisOptions preset_noshare_nodc(int lut_inputs) {
+  SynthesisOptions opts;
+  opts.decomp.lut_inputs = lut_inputs;
+  opts.decomp.exploit_dc = false;
+  opts.decomp.share_functions = false;
+  return opts;
+}
+
+}  // namespace mfd

@@ -1,0 +1,66 @@
+// Top-level synthesis API: the paper's complete flow in one call.
+//
+//   spec (multi-output ISF or Benchmark)
+//     -> recursive decomposition with 3-step don't-care assignment (mulop-dc)
+//     -> LUT network + structural cleanup
+//     -> exact verification against the spec (BDD containment)
+//     -> XC3000 CLB packing, greedy (mulop-dc) and matching (mulop-dcII)
+//
+// The option presets at the bottom configure the flows compared in the
+// paper's tables: mulopII (no DC exploitation), mulop-dc, and the ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "circuits/circuits.h"
+#include "decomp/decompose.h"
+#include "isf/isf.h"
+#include "map/clb.h"
+#include "net/lutnet.h"
+
+namespace mfd {
+
+struct SynthesisOptions {
+  DecomposeOptions decomp;
+  map::ClbOptions clb;
+  /// Exact BDD check of the network against the spec after synthesis.
+  bool verify = true;
+  /// When decomp.max_bound_extra > 0, also run the flow with in-budget
+  /// bound sets only and keep the better network. Oversized bound sets help
+  /// dramatically on mux-structured functions and can hurt badly on others;
+  /// no static estimate separates the two reliably, so we measure.
+  bool portfolio_bound_extra = true;
+};
+
+struct SynthesisResult {
+  net::LutNetwork network;
+  DecomposeStats stats;
+  map::ClbResult clb_greedy;    ///< mulop-dc packing
+  map::ClbResult clb_matching;  ///< mulop-dcII packing
+  bool verified = false;        ///< true iff verification ran and passed
+  double seconds = 0.0;
+};
+
+class Synthesizer {
+ public:
+  explicit Synthesizer(SynthesisOptions opts = {}) : opts_(opts) {}
+
+  const SynthesisOptions& options() const { return opts_; }
+
+  /// Synthesizes a multi-output ISF; `pi_vars[i]` is the manager variable of
+  /// primary input i.
+  SynthesisResult run(std::vector<Isf> spec, const std::vector<int>& pi_vars) const;
+
+  /// Synthesizes a completely specified benchmark function.
+  SynthesisResult run(const circuits::Benchmark& bench) const;
+
+ private:
+  SynthesisOptions opts_;
+};
+
+/// The paper's flows as option presets.
+SynthesisOptions preset_mulop_dc(int lut_inputs = 5);   ///< full DC exploitation
+SynthesisOptions preset_mulopII(int lut_inputs = 5);    ///< all DCs assigned 0
+SynthesisOptions preset_noshare_nodc(int lut_inputs = 5);  ///< per-output, no DC
+
+}  // namespace mfd

@@ -1,0 +1,162 @@
+#include "decomp/boundset.h"
+
+#include <algorithm>
+#include <map>
+
+#include "decomp/compat.h"
+#include "util/coloring.h"
+
+namespace mfd {
+namespace {
+
+/// Class count of one output's cofactor table using a quick ISF coloring
+/// (dedupe identical vertices, DSATUR, exact only for tiny graphs).
+int quick_class_count(const CofactorTable& table, std::uint64_t seed) {
+  // Completely specified fast path: classes = distinct cofactors.
+  bool complete = true;
+  for (const Isf& e : table.entries)
+    if (!e.is_completely_specified()) {
+      complete = false;
+      break;
+    }
+  if (complete) {
+    std::vector<bdd::NodeId> ids;
+    ids.reserve(table.entries.size());
+    for (const Isf& e : table.entries) ids.push_back(e.on().id());
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return static_cast<int>(ids.size());
+  }
+  // Dedupe by (on, care) identity first.
+  std::vector<std::pair<bdd::NodeId, bdd::NodeId>> keys;
+  keys.reserve(table.entries.size());
+  std::vector<int> rep;
+  std::vector<int> rep_vertex;
+  for (std::size_t v = 0; v < table.entries.size(); ++v) {
+    const auto key = std::make_pair(table.entries[v].on().id(), table.entries[v].care().id());
+    int id = -1;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      if (keys[i] == key) { id = static_cast<int>(i); break; }
+    if (id == -1) {
+      id = static_cast<int>(keys.size());
+      keys.push_back(key);
+      rep_vertex.push_back(static_cast<int>(v));
+    }
+    rep.push_back(id);
+  }
+  Graph g(static_cast<int>(keys.size()));
+  for (int a = 0; a < g.num_vertices(); ++a)
+    for (int b = a + 1; b < g.num_vertices(); ++b)
+      if (!vertices_compatible(table.entries[static_cast<std::size_t>(rep_vertex[static_cast<std::size_t>(a)])],
+                               table.entries[static_cast<std::size_t>(rep_vertex[static_cast<std::size_t>(b)])]))
+        g.add_edge(a, b);
+  ColoringOptions copts;
+  copts.seed = seed;
+  copts.restarts = 2;
+  copts.exact_vertex_limit = 14;
+  return color_graph(g, copts).num_colors;
+}
+
+bool better(const BoundSetChoice& a, const BoundSetChoice& b) {
+  if (a.benefit != b.benefit) return a.benefit > b.benefit;
+  if (a.sharing_gap != b.sharing_gap) return a.sharing_gap > b.sharing_gap;
+  return a.sum_r < b.sum_r;
+}
+
+}  // namespace
+
+BoundSetChoice evaluate_bound_set(const std::vector<Isf>& fns,
+                                  const std::vector<std::vector<int>>& supports,
+                                  const std::vector<int>& bound,
+                                  std::uint64_t seed) {
+  BoundSetChoice choice;
+  choice.vars = bound;
+  choice.benefit = 0;
+
+  std::vector<CofactorTable> tables;
+  std::vector<int> with_cut;  // outputs whose support meets the bound set
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    int cut = 0;
+    for (int v : supports[i])
+      if (std::find(bound.begin(), bound.end(), v) != bound.end()) ++cut;
+    if (cut == 0) {
+      choice.r_per_output.push_back(0);
+      continue;
+    }
+    CofactorTable t = cofactor_table(fns[i], bound);
+    const int k = quick_class_count(t, seed);
+    const int r = code_length(k);
+    choice.r_per_output.push_back(r);
+    choice.benefit += cut - r;
+    choice.sum_r += r;
+    tables.push_back(std::move(t));
+    with_cut.push_back(static_cast<int>(i));
+  }
+
+  if (tables.size() > 1) {
+    // Sharing potential: joint class count vs sum of individual code
+    // lengths. A cheap equality-based joint count (no coloring) suffices to
+    // rank candidates.
+    std::map<std::vector<std::pair<bdd::NodeId, bdd::NodeId>>, int> joint;
+    for (std::size_t v = 0; v < tables.front().entries.size(); ++v) {
+      std::vector<std::pair<bdd::NodeId, bdd::NodeId>> key;
+      for (const CofactorTable& t : tables)
+        key.emplace_back(t.entries[v].on().id(), t.entries[v].care().id());
+      joint.emplace(std::move(key), 0);
+    }
+    choice.sharing_gap =
+        static_cast<int>(choice.sum_r) - code_length(static_cast<int>(joint.size()));
+  }
+  return choice;
+}
+
+BoundSetChoice select_bound_set(const std::vector<Isf>& fns,
+                                const std::vector<int>& order, int p,
+                                const BoundSetOptions& opts) {
+  const int n = static_cast<int>(order.size());
+  std::vector<std::vector<int>> supports;
+  supports.reserve(fns.size());
+  for (const Isf& f : fns) supports.push_back(f.support());
+
+  BoundSetChoice best;
+  int evaluations = 0;
+  auto consider = [&](const std::vector<int>& bound) {
+    if (evaluations >= opts.max_evaluations) return;
+    ++evaluations;
+    BoundSetChoice c = evaluate_bound_set(fns, supports, bound, opts.seed);
+    if (best.vars.empty() || better(c, best)) best = std::move(c);
+  };
+
+  // Sliding windows over the sifted order.
+  for (int start = 0; start + p <= n; ++start) {
+    std::vector<int> bound(order.begin() + start, order.begin() + start + p);
+    consider(bound);
+  }
+
+  // Local exchange refinement: swap one bound variable against one outside
+  // variable, first-improvement, a few passes.
+  for (int pass = 0; pass < opts.improvement_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t bi = 0; bi < best.vars.size() && evaluations < opts.max_evaluations; ++bi) {
+      for (int v : order) {
+        if (std::find(best.vars.begin(), best.vars.end(), v) != best.vars.end())
+          continue;
+        std::vector<int> bound = best.vars;
+        bound[bi] = v;
+        std::sort(bound.begin(), bound.end());
+        BoundSetChoice c = evaluate_bound_set(fns, supports, bound, opts.seed);
+        ++evaluations;
+        if (better(c, best)) {
+          best = std::move(c);
+          improved = true;
+          break;
+        }
+        if (evaluations >= opts.max_evaluations) break;
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+}  // namespace mfd

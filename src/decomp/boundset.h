@@ -1,0 +1,50 @@
+// Bound-set selection (Section 5, step 1 context).
+//
+// Candidates are windows over the symmetric-sifting variable order — the
+// paper's "starting point of our search for good candidates" — refined by a
+// local exchange search that swaps bound against free variables (whole
+// symmetry groups are kept on one side by construction of the order).
+//
+// A candidate is scored by the support reduction it buys:
+//   benefit = sum_i (|supp(f_i) /\ B| - r_i),
+// with r_i the per-output code length after an (inexpensive) ISF coloring of
+// the candidate's cofactor table; ties prefer larger sharing potential
+// (sum r_i - r_joint, the gap the paper's step 2 exploits) and then fewer
+// total functions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isf/isf.h"
+
+namespace mfd {
+
+struct BoundSetOptions {
+  int improvement_passes = 2;
+  /// Cap on evaluated candidates (windows + exchange moves).
+  int max_evaluations = 200;
+  std::uint64_t seed = 1;
+};
+
+struct BoundSetChoice {
+  std::vector<int> vars;          // empty = no profitable bound set found
+  long benefit = -1;              // sum_i (cut_i - r_i)
+  int sharing_gap = 0;            // sum_i r_i - r_joint
+  long sum_r = 0;                 // sum_i r_i
+  std::vector<int> r_per_output;  // r_i for each output
+};
+
+/// Evaluates one candidate bound set.
+BoundSetChoice evaluate_bound_set(const std::vector<Isf>& fns,
+                                  const std::vector<std::vector<int>>& supports,
+                                  const std::vector<int>& bound,
+                                  std::uint64_t seed);
+
+/// Searches for the best bound set of size p among the variables of
+/// `order` (the active variables, most significant level first).
+BoundSetChoice select_bound_set(const std::vector<Isf>& fns,
+                                const std::vector<int>& order, int p,
+                                const BoundSetOptions& opts = {});
+
+}  // namespace mfd

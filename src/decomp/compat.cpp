@@ -1,0 +1,91 @@
+#include "decomp/compat.h"
+
+#include <cassert>
+#include <map>
+#include <utility>
+
+namespace mfd {
+
+int CofactorTable::num_bound_vars() const {
+  int p = 0;
+  while ((std::size_t{1} << p) < entries.size()) ++p;
+  return p;
+}
+
+CofactorTable cofactor_table(const Isf& f, const std::vector<int>& bound) {
+  const int p = static_cast<int>(bound.size());
+  CofactorTable table;
+  table.entries.reserve(std::size_t{1} << p);
+  bdd::Manager& m = *f.manager();
+  std::vector<std::pair<int, bool>> assignment(bound.size());
+  for (std::uint32_t v = 0; v < (std::uint32_t{1} << p); ++v) {
+    for (int k = 0; k < p; ++k) assignment[static_cast<std::size_t>(k)] = {bound[static_cast<std::size_t>(k)], (v >> k) & 1};
+    const bdd::Bdd on = m.wrap(m.cofactor_cube(f.on().id(), assignment));
+    const bdd::Bdd care = m.wrap(m.cofactor_cube(f.care().id(), assignment));
+    table.entries.emplace_back(on, care);
+  }
+  return table;
+}
+
+bool vertices_compatible(const Isf& a, const Isf& b) { return a.compatible_with(b); }
+
+int ncc_complete(bdd::Manager& m, bdd::NodeId f, const std::vector<int>& bound) {
+  const int p = static_cast<int>(bound.size());
+  std::map<bdd::NodeId, int> distinct;
+  std::vector<std::pair<int, bool>> assignment(bound.size());
+  for (std::uint32_t v = 0; v < (std::uint32_t{1} << p); ++v) {
+    for (int k = 0; k < p; ++k) assignment[static_cast<std::size_t>(k)] = {bound[static_cast<std::size_t>(k)], (v >> k) & 1};
+    distinct.emplace(m.cofactor_cube(f, assignment), 1);
+  }
+  return static_cast<int>(distinct.size());
+}
+
+Graph incompatibility_graph(const CofactorTable& table) {
+  const int n = static_cast<int>(table.entries.size());
+  Graph g(n);
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b)
+      if (!vertices_compatible(table.entries[static_cast<std::size_t>(a)],
+                               table.entries[static_cast<std::size_t>(b)]))
+        g.add_edge(a, b);
+  return g;
+}
+
+Graph joint_incompatibility_graph(const std::vector<CofactorTable>& tables) {
+  assert(!tables.empty());
+  const int n = static_cast<int>(tables.front().entries.size());
+  Graph g(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      for (const CofactorTable& t : tables) {
+        if (!vertices_compatible(t.entries[static_cast<std::size_t>(a)],
+                                 t.entries[static_cast<std::size_t>(b)])) {
+          g.add_edge(a, b);
+          break;
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<int> partition_by_equality(const CofactorTable& table) {
+  std::map<std::pair<bdd::NodeId, bdd::NodeId>, int> classes;
+  std::vector<int> result;
+  result.reserve(table.entries.size());
+  for (const Isf& e : table.entries) {
+    const auto key = std::make_pair(e.on().id(), e.care().id());
+    const auto [it, inserted] = classes.emplace(key, static_cast<int>(classes.size()));
+    result.push_back(it->second);
+  }
+  return result;
+}
+
+int code_length(int k) {
+  assert(k >= 1);
+  int r = 0;
+  while ((1 << r) < k) ++r;
+  return r;
+}
+
+}  // namespace mfd

@@ -1,0 +1,117 @@
+#include "decomp/dc_assign.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/coloring.h"
+
+namespace mfd {
+namespace {
+
+/// Vertices with identical cofactors across all listed outputs are
+/// interchangeable; collapsing them first keeps the coloring graphs small
+/// (frequently within the exact-coloring limit).
+struct Reduced {
+  std::vector<int> rep_of_vertex;       // vertex -> dense rep id
+  std::vector<int> vertex_of_rep;       // rep id -> one representative vertex
+};
+
+Reduced reduce_identical(const std::vector<const CofactorTable*>& tables) {
+  Reduced r;
+  std::map<std::vector<std::pair<bdd::NodeId, bdd::NodeId>>, int> ids;
+  const std::size_t n = tables.front()->entries.size();
+  r.rep_of_vertex.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<std::pair<bdd::NodeId, bdd::NodeId>> key;
+    key.reserve(tables.size());
+    for (const CofactorTable* t : tables)
+      key.emplace_back(t->entries[v].on().id(), t->entries[v].care().id());
+    const auto [it, inserted] = ids.emplace(key, static_cast<int>(ids.size()));
+    r.rep_of_vertex[v] = it->second;
+    if (inserted) r.vertex_of_rep.push_back(static_cast<int>(v));
+  }
+  return r;
+}
+
+/// Colors the incompatibility structure of the reduced vertices;
+/// `incompatible(a, b)` is queried on representative vertices.
+template <typename Incompat>
+std::vector<int> color_classes(const Reduced& red, Incompat&& incompatible,
+                               std::uint64_t seed, int* out_num_classes) {
+  const int nr = static_cast<int>(red.vertex_of_rep.size());
+  Graph g(nr);
+  for (int a = 0; a < nr; ++a)
+    for (int b = a + 1; b < nr; ++b)
+      if (incompatible(red.vertex_of_rep[static_cast<std::size_t>(a)],
+                       red.vertex_of_rep[static_cast<std::size_t>(b)]))
+        g.add_edge(a, b);
+  ColoringOptions opts;
+  opts.seed = seed;
+  const Coloring coloring = color_graph(g, opts);
+  *out_num_classes = coloring.num_colors;
+  std::vector<int> result(red.rep_of_vertex.size());
+  for (std::size_t v = 0; v < result.size(); ++v)
+    result[v] = coloring.color[static_cast<std::size_t>(red.rep_of_vertex[v])];
+  return result;
+}
+
+/// Applies a class partition to one table: every vertex receives the merge
+/// (information union) of its whole class.
+void merge_classes(CofactorTable& table, const std::vector<int>& klass, int k) {
+  std::vector<Isf> merged(static_cast<std::size_t>(k));
+  for (std::size_t v = 0; v < table.entries.size(); ++v) {
+    Isf& slot = merged[static_cast<std::size_t>(klass[v])];
+    slot = slot.valid() ? slot.merge(table.entries[v]) : table.entries[v];
+  }
+  for (std::size_t v = 0; v < table.entries.size(); ++v)
+    table.entries[v] = merged[static_cast<std::size_t>(klass[v])];
+}
+
+}  // namespace
+
+int num_classes(const std::vector<int>& partition) {
+  int k = 0;
+  for (int c : partition) k = std::max(k, c + 1);
+  return k;
+}
+
+int assign_joint(std::vector<CofactorTable>& tables, std::uint64_t seed) {
+  std::vector<const CofactorTable*> ptrs;
+  ptrs.reserve(tables.size());
+  for (const CofactorTable& t : tables) ptrs.push_back(&t);
+  const Reduced red = reduce_identical(ptrs);
+
+  auto incompatible = [&](int a, int b) {
+    for (const CofactorTable& t : tables)
+      if (!vertices_compatible(t.entries[static_cast<std::size_t>(a)],
+                               t.entries[static_cast<std::size_t>(b)]))
+        return true;
+    return false;
+  };
+  int k = 0;
+  const std::vector<int> klass = color_classes(red, incompatible, seed, &k);
+  for (CofactorTable& t : tables) merge_classes(t, klass, k);
+  return k;
+}
+
+std::vector<std::vector<int>> assign_per_output(std::vector<CofactorTable>& tables,
+                                                std::uint64_t seed) {
+  std::vector<std::vector<int>> partitions;
+  partitions.reserve(tables.size());
+  for (CofactorTable& t : tables) {
+    const Reduced red = reduce_identical({&t});
+    auto incompatible = [&](int a, int b) {
+      return !vertices_compatible(t.entries[static_cast<std::size_t>(a)],
+                                  t.entries[static_cast<std::size_t>(b)]);
+    };
+    int k = 0;
+    const std::vector<int> klass = color_classes(red, incompatible, seed, &k);
+    merge_classes(t, klass, k);
+    // Merging may have made distinct color classes identical; the final
+    // partition is the equality partition, which is at least as coarse.
+    partitions.push_back(partition_by_equality(t));
+  }
+  return partitions;
+}
+
+}  // namespace mfd

@@ -1,0 +1,46 @@
+// Shared strict decomposition functions for multi-output decomposition
+// (Scholl & Molitor [21], Section 3 of the paper).
+//
+// A decomposition function is *strict* for f_i iff it is constant on every
+// compatible class of f_i. Strict functions are the ones that can be shared:
+// a single alpha serves every output on whose partition it is constant, and
+// strictness also preserves the symmetries of f_i (Section 4).
+//
+// The encoder keeps the paper's hard constraint r_i = ceil(log2 k_i) for
+// every output and heuristically minimizes the pool of distinct functions:
+// outputs are processed by decreasing class count; each reuses every pool
+// function that is (a) strict for it, (b) separates something, and (c) keeps
+// the encodability invariant "every code cell holds at most 2^(r_i - t)
+// classes after t functions"; the remaining distinctions come from fresh
+// balanced splitter functions that are added to the pool for later outputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mfd {
+
+struct Encoding {
+  /// Each decomposition function as its value on every bound vertex.
+  std::vector<std::vector<bool>> functions;
+  /// Per output: indices into `functions`, size r_i.
+  std::vector<std::vector<int>> used;
+
+  int r(int output) const { return static_cast<int>(used[static_cast<std::size_t>(output)].size()); }
+  int total_functions() const { return static_cast<int>(functions.size()); }
+  /// Code word of a bound vertex for one output (bit j = used[output][j]).
+  std::uint32_t code_of(int output, int vertex) const;
+};
+
+/// Encodes the per-output class partitions over 2^p bound vertices.
+/// With `share` = false every output receives private functions (the
+/// no-sharing baseline).
+Encoding encode_shared(const std::vector<std::vector<int>>& partitions, int p,
+                       bool share = true);
+
+/// True iff, for every output, the code words separate all classes and are
+/// constant within each class (validity of an encoding).
+bool encoding_is_valid(const Encoding& enc,
+                       const std::vector<std::vector<int>>& partitions);
+
+}  // namespace mfd

@@ -1,0 +1,188 @@
+#include "io/blif.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuits/circuits.h"
+
+namespace mfd::io {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+/// Reads logical lines, gluing '\' continuations and stripping comments.
+std::vector<std::vector<std::string>> logical_lines(const std::string& text) {
+  std::vector<std::vector<std::string>> lines;
+  std::istringstream is(text);
+  std::string line, joined;
+  while (std::getline(is, line)) {
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    const bool cont = !line.empty() && line.back() == '\\';
+    if (cont) line.pop_back();
+    joined += line + " ";
+    if (cont) continue;
+    std::vector<std::string> tokens = tokenize(joined);
+    joined.clear();
+    if (!tokens.empty()) lines.push_back(std::move(tokens));
+  }
+  return lines;
+}
+
+}  // namespace
+
+BlifModel parse_blif(const std::string& text, bdd::Manager& m) {
+  BlifModel model;
+  const auto lines = logical_lines(text);
+
+  std::map<std::string, bdd::Bdd> signal;
+  std::size_t li = 0;
+
+  auto read_names_block = [&](const std::vector<std::string>& header, std::size_t& pos) {
+    const std::vector<std::string> ios(header.begin() + 1, header.end());
+    if (ios.empty()) throw std::runtime_error("blif: empty .names");
+    const std::string target = ios.back();
+    const int k = static_cast<int>(ios.size()) - 1;
+    std::vector<bdd::Bdd> fanin;
+    for (int i = 0; i < k; ++i) {
+      const auto it = signal.find(ios[static_cast<std::size_t>(i)]);
+      if (it == signal.end())
+        throw std::runtime_error("blif: use of undefined signal " + ios[static_cast<std::size_t>(i)] +
+                                 " (non-topological order is unsupported)");
+      fanin.push_back(it->second);
+    }
+    bdd::Bdd on = m.bdd_false();
+    bool complemented = false;
+    while (pos < lines.size() && lines[pos].front()[0] != '.') {
+      const auto& cube_line = lines[pos++];
+      std::string in, out;
+      if (k == 0) {
+        if (cube_line.size() != 1) throw std::runtime_error("blif: bad constant cover");
+        out = cube_line[0];
+      } else {
+        if (cube_line.size() != 2) throw std::runtime_error("blif: bad cover line");
+        in = cube_line[0];
+        out = cube_line[1];
+        if (static_cast<int>(in.size()) != k)
+          throw std::runtime_error("blif: cover width mismatch");
+      }
+      if (out != "1" && out != "0") throw std::runtime_error("blif: bad output plane");
+      complemented = (out == "0");
+      bdd::Bdd cube = m.bdd_true();
+      for (int i = 0; i < k; ++i) {
+        const char ch = in[static_cast<std::size_t>(i)];
+        if (ch == '-') continue;
+        if (ch != '0' && ch != '1') throw std::runtime_error("blif: bad cover character");
+        cube &= (ch == '1') ? fanin[static_cast<std::size_t>(i)]
+                            : !fanin[static_cast<std::size_t>(i)];
+      }
+      on |= cube;
+    }
+    signal[target] = complemented ? !on : on;
+  };
+
+  bool in_model = false;
+  while (li < lines.size()) {
+    const std::vector<std::string> header = lines[li++];
+    const std::string& head = header.front();
+    if (head == ".model") {
+      if (in_model) throw std::runtime_error("blif: multiple models unsupported");
+      in_model = true;
+      if (header.size() > 1) model.name = header[1];
+    } else if (head == ".inputs") {
+      for (std::size_t i = 1; i < header.size(); ++i) {
+        circuits::ensure_vars(m, static_cast<int>(model.inputs.size()) + 1);
+        signal[header[i]] = m.var(static_cast<int>(model.inputs.size()));
+        model.inputs.push_back(header[i]);
+      }
+    } else if (head == ".outputs") {
+      model.outputs.assign(header.begin() + 1, header.end());
+    } else if (head == ".names") {
+      read_names_block(header, li);
+    } else if (head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      throw std::runtime_error("blif: unsupported directive " + head);
+    } else {
+      throw std::runtime_error("blif: stray line starting with " + head);
+    }
+  }
+
+  for (const std::string& out : model.outputs) {
+    const auto it = signal.find(out);
+    if (it == signal.end()) throw std::runtime_error("blif: undriven output " + out);
+    model.functions.push_back(it->second);
+  }
+  return model;
+}
+
+std::string write_blif(const net::LutNetwork& net, const std::string& model_name,
+                       const std::vector<std::string>& input_names,
+                       const std::vector<std::string>& output_names) {
+  std::ostringstream os;
+  auto signal_name = [&](int s) -> std::string {
+    if (s == net::kConst0) return "const0";
+    if (s == net::kConst1) return "const1";
+    if (net.is_primary_input(s)) {
+      return s < static_cast<int>(input_names.size()) ? input_names[static_cast<std::size_t>(s)]
+                                                      : "pi" + std::to_string(s);
+    }
+    return "n" + std::to_string(s);
+  };
+
+  os << ".model " << model_name << "\n.inputs";
+  for (int i = 0; i < net.num_primary_inputs(); ++i) os << ' ' << signal_name(i);
+  os << "\n.outputs";
+  for (int o = 0; o < net.num_outputs(); ++o)
+    os << ' '
+       << (o < static_cast<int>(output_names.size()) ? output_names[static_cast<std::size_t>(o)]
+                                                     : "po" + std::to_string(o));
+  os << "\n";
+
+  bool used_const0 = false, used_const1 = false;
+  for (int i = 0; i < net.num_luts(); ++i)
+    for (int in : net.lut(i).inputs) {
+      used_const0 |= in == net::kConst0;
+      used_const1 |= in == net::kConst1;
+    }
+  for (int s : net.outputs()) {
+    used_const0 |= s == net::kConst0;
+    used_const1 |= s == net::kConst1;
+  }
+  if (used_const0) os << ".names const0\n";
+  if (used_const1) os << ".names const1\n1\n";
+
+  for (int i = 0; i < net.num_luts(); ++i) {
+    const net::Lut& lut = net.lut(i);
+    os << ".names";
+    for (int in : lut.inputs) os << ' ' << signal_name(in);
+    os << ' ' << signal_name(net.lut_signal(i)) << "\n";
+    for (std::size_t idx = 0; idx < lut.table.size(); ++idx) {
+      if (!lut.table[idx]) continue;
+      std::string cube(lut.inputs.size(), '0');
+      for (std::size_t j = 0; j < lut.inputs.size(); ++j)
+        if ((idx >> j) & 1) cube[j] = '1';
+      os << cube << (cube.empty() ? "" : " ") << "1\n";
+    }
+  }
+
+  // Output drivers: buffers from internal names to output names.
+  for (int o = 0; o < net.num_outputs(); ++o) {
+    const std::string po = o < static_cast<int>(output_names.size())
+                               ? output_names[static_cast<std::size_t>(o)]
+                               : "po" + std::to_string(o);
+    os << ".names " << signal_name(net.outputs()[static_cast<std::size_t>(o)]) << ' ' << po
+       << "\n1 1\n";
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace mfd::io

@@ -1,0 +1,36 @@
+// BLIF reader/writer (combinational subset: .model/.inputs/.outputs/.names).
+//
+// The reader turns a combinational BLIF model into BDD outputs (the form the
+// synthesizer consumes); the writer serializes a LutNetwork, so synthesized
+// results can be handed to any downstream FPGA tool chain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "net/lutnet.h"
+
+namespace mfd::io {
+
+struct BlifModel {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  /// Output functions as BDDs over manager variables 0..inputs.size()-1 in
+  /// declaration order.
+  std::vector<bdd::Bdd> functions;
+};
+
+/// Parses a combinational BLIF model (single .model; .names covers with
+/// {0,1,-} input plane and a constant output plane character).
+/// Throws std::runtime_error on malformed or unsupported input.
+BlifModel parse_blif(const std::string& text, bdd::Manager& m);
+
+/// Serializes a LUT network as BLIF. Signal names are synthesized as
+/// pi<i> / n<i> unless names are provided.
+std::string write_blif(const net::LutNetwork& net, const std::string& model_name,
+                       const std::vector<std::string>& input_names = {},
+                       const std::vector<std::string>& output_names = {});
+
+}  // namespace mfd::io

@@ -1,0 +1,172 @@
+#include "io/pla.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "bdd/isop.h"
+#include "circuits/circuits.h"
+
+namespace mfd::io {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+}  // namespace
+
+PlaFile parse_pla(const std::string& text) {
+  PlaFile pla;
+  bool saw_i = false, saw_o = false;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens.front();
+    if (head == ".i") {
+      if (tokens.size() != 2) throw std::runtime_error("pla: malformed .i");
+      pla.num_inputs = std::stoi(tokens[1]);
+      saw_i = true;
+    } else if (head == ".o") {
+      if (tokens.size() != 2) throw std::runtime_error("pla: malformed .o");
+      pla.num_outputs = std::stoi(tokens[1]);
+      saw_o = true;
+    } else if (head == ".p") {
+      // informational; ignored
+    } else if (head == ".type") {
+      if (tokens.size() != 2) throw std::runtime_error("pla: malformed .type");
+      pla.type = tokens[1];
+    } else if (head == ".ilb") {
+      pla.input_names.assign(tokens.begin() + 1, tokens.end());
+    } else if (head == ".ob") {
+      pla.output_names.assign(tokens.begin() + 1, tokens.end());
+    } else if (head == ".e" || head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      throw std::runtime_error("pla: unsupported directive " + head);
+    } else {
+      if (!saw_i || !saw_o) throw std::runtime_error("pla: cube before .i/.o");
+      std::string in, out;
+      if (tokens.size() == 2) {
+        in = tokens[0];
+        out = tokens[1];
+      } else if (tokens.size() == 1 &&
+                 static_cast<int>(tokens[0].size()) == pla.num_inputs + pla.num_outputs) {
+        in = tokens[0].substr(0, static_cast<std::size_t>(pla.num_inputs));
+        out = tokens[0].substr(static_cast<std::size_t>(pla.num_inputs));
+      } else {
+        throw std::runtime_error("pla: malformed cube line: " + line);
+      }
+      if (static_cast<int>(in.size()) != pla.num_inputs ||
+          static_cast<int>(out.size()) != pla.num_outputs)
+        throw std::runtime_error("pla: cube width mismatch: " + line);
+      for (char ch : in)
+        if (ch != '0' && ch != '1' && ch != '-')
+          throw std::runtime_error("pla: bad input character in: " + line);
+      for (char ch : out)
+        if (ch != '0' && ch != '1' && ch != '-' && ch != '~')
+          throw std::runtime_error("pla: bad output character in: " + line);
+      pla.cubes.emplace_back(std::move(in), std::move(out));
+    }
+  }
+  if (!saw_i || !saw_o) throw std::runtime_error("pla: missing .i/.o");
+  return pla;
+}
+
+std::string write_pla(const PlaFile& pla) {
+  std::ostringstream os;
+  os << ".i " << pla.num_inputs << "\n.o " << pla.num_outputs << "\n";
+  if (!pla.input_names.empty()) {
+    os << ".ilb";
+    for (const auto& n : pla.input_names) os << ' ' << n;
+    os << "\n";
+  }
+  if (!pla.output_names.empty()) {
+    os << ".ob";
+    for (const auto& n : pla.output_names) os << ' ' << n;
+    os << "\n";
+  }
+  if (pla.type != "fd") os << ".type " << pla.type << "\n";
+  os << ".p " << pla.cubes.size() << "\n";
+  for (const auto& [in, out] : pla.cubes) os << in << ' ' << out << "\n";
+  os << ".e\n";
+  return os.str();
+}
+
+PlaFile pla_from_isfs(const std::vector<Isf>& fns, int num_inputs,
+                      const std::vector<std::string>& input_names,
+                      const std::vector<std::string>& output_names) {
+  if (fns.empty()) throw std::runtime_error("pla_from_isfs: no outputs");
+  bdd::Manager& m = *fns.front().manager();
+  PlaFile pla;
+  pla.num_inputs = num_inputs >= 0 ? num_inputs : m.num_vars();
+  pla.num_outputs = static_cast<int>(fns.size());
+  pla.input_names = input_names;
+  pla.output_names = output_names;
+
+  for (int o = 0; o < pla.num_outputs; ++o) {
+    const Isf& f = fns[static_cast<std::size_t>(o)];
+    const std::vector<bdd::Cube> cover =
+        bdd::isop(m, f.on().id(), (f.on() | f.dc()).id());
+    for (const bdd::Cube& cube : cover) {
+      std::string in(static_cast<std::size_t>(pla.num_inputs), '-');
+      for (const auto& [var, phase] : cube.literals) {
+        if (var >= pla.num_inputs)
+          throw std::runtime_error("pla_from_isfs: function exceeds input count");
+        in[static_cast<std::size_t>(var)] = phase ? '1' : '0';
+      }
+      std::string out(static_cast<std::size_t>(pla.num_outputs), '0');
+      out[static_cast<std::size_t>(o)] = '1';
+      pla.cubes.emplace_back(std::move(in), std::move(out));
+    }
+  }
+  return pla;
+}
+
+std::vector<Isf> pla_to_isfs(const PlaFile& pla, bdd::Manager& m) {
+  circuits::ensure_vars(m, pla.num_inputs);
+  const bool has_r = pla.type == "fr" || pla.type == "fdr";
+  const bool has_d = pla.type == "fd" || pla.type == "fdr" || pla.type == "f";
+
+  std::vector<bdd::Bdd> on(static_cast<std::size_t>(pla.num_outputs), m.bdd_false());
+  std::vector<bdd::Bdd> dc(static_cast<std::size_t>(pla.num_outputs), m.bdd_false());
+  std::vector<bdd::Bdd> off(static_cast<std::size_t>(pla.num_outputs), m.bdd_false());
+
+  for (const auto& [in, out] : pla.cubes) {
+    bdd::Bdd cube = m.bdd_true();
+    for (int v = 0; v < pla.num_inputs; ++v) {
+      const char ch = in[static_cast<std::size_t>(v)];
+      if (ch == '-') continue;
+      cube &= m.literal(v, ch == '1');
+    }
+    for (int o = 0; o < pla.num_outputs; ++o) {
+      switch (out[static_cast<std::size_t>(o)]) {
+        case '1': on[static_cast<std::size_t>(o)] |= cube; break;
+        case '-': if (has_d) dc[static_cast<std::size_t>(o)] |= cube; break;
+        case '0': if (has_r) off[static_cast<std::size_t>(o)] |= cube; break;
+        default: break;  // '~': no information
+      }
+    }
+  }
+
+  std::vector<Isf> result;
+  result.reserve(static_cast<std::size_t>(pla.num_outputs));
+  for (int o = 0; o < pla.num_outputs; ++o) {
+    // f/fd: everything not covered by a dc cube is cared for (uncovered
+    // inputs are off); on beats dc on overlap. fr/fdr: only the listed on-
+    // and off-planes are cared for.
+    const bdd::Bdd care = has_r ? (on[static_cast<std::size_t>(o)] | off[static_cast<std::size_t>(o)])
+                                : !(dc[static_cast<std::size_t>(o)] & !on[static_cast<std::size_t>(o)]);
+    result.emplace_back(on[static_cast<std::size_t>(o)], care);
+  }
+  return result;
+}
+
+}  // namespace mfd::io

@@ -1,0 +1,51 @@
+// Berkeley PLA (espresso) format reader/writer.
+//
+// This is the on-ramp for users who have the real MCNC two-level benchmark
+// files: parse_pla + pla_to_isfs yields exactly the multi-output ISF the
+// synthesizer consumes, including the explicit don't-care information of
+// type-fd/fr PLAs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isf/isf.h"
+
+namespace mfd::io {
+
+/// Raw contents of a PLA file.
+struct PlaFile {
+  int num_inputs = 0;
+  int num_outputs = 0;
+  /// "f", "fd" (default), "fr", or "fdr": which planes the 0/~ entries mean.
+  std::string type = "fd";
+  std::vector<std::string> input_names;   // may be empty
+  std::vector<std::string> output_names;  // may be empty
+  /// Cubes as (input part, output part) strings, characters {0,1,-} and
+  /// {0,1,-,~} respectively.
+  std::vector<std::pair<std::string, std::string>> cubes;
+};
+
+/// Parses PLA text. Throws std::runtime_error on malformed input.
+PlaFile parse_pla(const std::string& text);
+
+/// Serializes back to PLA text.
+std::string write_pla(const PlaFile& pla);
+
+/// Builds a PLA from multi-output ISFs: each output's cube list is the
+/// Minato-Morreale irredundant cover of [on, on | dc] over the first
+/// `num_inputs` manager variables (default: all). The result is an fd-type
+/// PLA whose dc information has been *spent* on cover minimization.
+PlaFile pla_from_isfs(const std::vector<Isf>& fns, int num_inputs = -1,
+                      const std::vector<std::string>& input_names = {},
+                      const std::vector<std::string>& output_names = {});
+
+/// Interprets the cubes as multi-output ISFs over manager variables
+/// 0..num_inputs-1 (the manager is grown as needed):
+///   '1' adds the cube to the output's on-set,
+///   '-' adds it to the don't-care set (types fd/fdr),
+///   '0'/'~' contribute nothing ('0' adds to the off-set for fr/fdr).
+/// For f/fd types, inputs covered by no cube are off.
+std::vector<Isf> pla_to_isfs(const PlaFile& pla, bdd::Manager& m);
+
+}  // namespace mfd::io

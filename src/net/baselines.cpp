@@ -1,0 +1,166 @@
+#include "net/baselines.h"
+
+#include <cassert>
+#include <deque>
+
+namespace mfd::net {
+
+int GateBuilder::mux(int sel, int d1, int d0) {
+  const int t1 = and2(sel, d1);
+  const int t0 = andn2(d0, sel);  // d0 & !sel
+  return or2(t1, t0);
+}
+
+std::pair<int, int> GateBuilder::full_adder(int a, int b, int cin) {
+  const int axb = xor2(a, b);
+  const int sum = xor2(axb, cin);
+  const int c1 = and2(a, b);
+  const int c2 = and2(axb, cin);
+  const int carry = or2(c1, c2);
+  return {sum, carry};
+}
+
+std::pair<int, int> GateBuilder::half_adder(int a, int b) {
+  return {xor2(a, b), and2(a, b)};
+}
+
+LutNetwork conditional_sum_adder(int n) {
+  assert(n > 0 && (n & (n - 1)) == 0 && "block doubling needs a power of two");
+  LutNetwork net(2 * n);
+  GateBuilder g(net);
+
+  // A block covering bits [lo, lo+w) is represented by its sum bits and
+  // carry-out under both carry-in assumptions.
+  struct Block {
+    std::vector<int> sum[2];  // sum[t][k]: bit lo+k assuming carry-in t
+    int carry[2];             // carry out assuming carry-in t
+  };
+
+  // Leaf blocks: one bit each.
+  std::vector<Block> blocks(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int a = i, b = n + i;
+    Block& blk = blocks[static_cast<std::size_t>(i)];
+    blk.sum[0] = {g.xor2(a, b)};
+    blk.carry[0] = g.and2(a, b);
+    blk.sum[1] = {g.xnor2(a, b)};
+    blk.carry[1] = g.or2(a, b);
+  }
+
+  // Merge pairs of equal-width blocks; the high half selects between its two
+  // precomputed versions with multiplexers driven by the low half's carry.
+  while (blocks.size() > 1) {
+    std::vector<Block> merged;
+    for (std::size_t i = 0; i < blocks.size(); i += 2) {
+      const Block& lo = blocks[i];
+      const Block& hi = blocks[i + 1];
+      Block blk;
+      for (int t = 0; t < 2; ++t) {
+        blk.sum[t] = lo.sum[t];
+        for (std::size_t k = 0; k < hi.sum[0].size(); ++k)
+          blk.sum[t].push_back(g.mux(lo.carry[t], hi.sum[1][k], hi.sum[0][k]));
+        blk.carry[t] = g.mux(lo.carry[t], hi.carry[1], hi.carry[0]);
+      }
+      merged.push_back(std::move(blk));
+    }
+    blocks = std::move(merged);
+  }
+
+  for (int s : blocks[0].sum[0]) net.add_output(s);
+  net.add_output(blocks[0].carry[0]);
+  net.simplify();  // the carry-in=1 top version is dead
+  return net;
+}
+
+LutNetwork ripple_carry_adder(int n) {
+  LutNetwork net(2 * n);
+  GateBuilder g(net);
+  auto [s0, c] = g.half_adder(0, n);
+  net.add_output(s0);
+  for (int i = 1; i < n; ++i) {
+    auto [s, cn] = g.full_adder(i, n + i, c);
+    net.add_output(s);
+    c = cn;
+  }
+  net.add_output(c);
+  return net;
+}
+
+LutNetwork wallace_tree_pp(int n) {
+  LutNetwork net(n * n);
+  GateBuilder g(net);
+
+  // Column c holds the signals of weight c.
+  std::vector<std::deque<int>> column(static_cast<std::size_t>(2 * n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      column[static_cast<std::size_t>(i + j)].push_back(i * n + j);
+
+  // Carry-save reduction: as long as some column has three or more entries,
+  // compress with full/half adders.
+  bool again = true;
+  while (again) {
+    again = false;
+    std::vector<std::deque<int>> next(column.size());
+    for (std::size_t c = 0; c < column.size(); ++c) {
+      auto& col = column[c];
+      while (col.size() >= 3) {
+        const int a = col.front(); col.pop_front();
+        const int b = col.front(); col.pop_front();
+        const int d = col.front(); col.pop_front();
+        auto [s, carry] = g.full_adder(a, b, d);
+        next[c].push_back(s);
+        if (c + 1 < column.size()) next[c + 1].push_back(carry);
+        again = true;
+      }
+      // One compressing half adder per column and round, as in Wallace's
+      // original scheme, only when it helps reach <= 2 rows.
+      if (col.size() == 2 && !next[c].empty()) {
+        const int a = col.front(); col.pop_front();
+        const int b = col.front(); col.pop_front();
+        auto [s, carry] = g.half_adder(a, b);
+        next[c].push_back(s);
+        if (c + 1 < column.size()) next[c + 1].push_back(carry);
+        again = true;
+      }
+      while (!col.empty()) {
+        next[c].push_back(col.front());
+        col.pop_front();
+      }
+    }
+    column = std::move(next);
+    // Stop when every column has at most 2 entries.
+    bool tall = false;
+    for (const auto& col : column)
+      if (col.size() > 2) tall = true;
+    again = tall;
+  }
+
+  // Final carry-propagate addition over the two remaining rows.
+  int carry = kConst0;
+  for (std::size_t c = 0; c < column.size(); ++c) {
+    auto& col = column[c];
+    int a = col.empty() ? kConst0 : col.front();
+    if (!col.empty()) col.pop_front();
+    int b = col.empty() ? kConst0 : col.front();
+    if (!col.empty()) col.pop_front();
+    if (b == kConst0 && carry == kConst0) {
+      net.add_output(a);
+      continue;
+    }
+    if (b == kConst0) {
+      auto [s, cn] = g.half_adder(a == kConst0 ? carry : a, a == kConst0 ? kConst0 : carry);
+      // half_adder with a constant operand is cleaned up by simplify()
+      net.add_output(s);
+      carry = cn;
+      continue;
+    }
+    auto [s, cn] = g.full_adder(a, b, carry);
+    net.add_output(s);
+    carry = cn;
+  }
+  net.simplify();
+  return net;
+}
+
+}  // namespace mfd::net

@@ -1,0 +1,37 @@
+// Verification of LUT networks against BDD/ISF specifications.
+//
+// Two independent paths:
+//  * exact: rebuild every network output as a BDD and check that it is an
+//    admissible extension of the specification ISF;
+//  * simulation: drive `evaluate()` with exhaustive or random vectors.
+// The exact path validates the decomposition algebra; the simulation path
+// additionally validates the network evaluation machinery itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isf/isf.h"
+#include "net/lutnet.h"
+
+namespace mfd::net {
+
+/// BDD of every primary output of `net`. `pi_vars[i]` is the manager
+/// variable standing for primary input i.
+std::vector<bdd::Bdd> output_bdds(const LutNetwork& net, bdd::Manager& m,
+                                  const std::vector<int>& pi_vars);
+
+/// Exact check: every network output is an admissible extension of the
+/// corresponding specification ISF. On failure, `error` (if given) receives
+/// a description including a counterexample.
+bool check_exact(const LutNetwork& net, const std::vector<Isf>& spec,
+                 const std::vector<int>& pi_vars, std::string* error = nullptr);
+
+/// Simulation check of the same property; exhaustive if the network has at
+/// most `exhaustive_limit` inputs, otherwise `samples` random vectors.
+bool check_by_simulation(const LutNetwork& net, const std::vector<Isf>& spec,
+                         const std::vector<int>& pi_vars, int exhaustive_limit = 12,
+                         int samples = 2000, std::uint64_t seed = 7,
+                         std::string* error = nullptr);
+
+}  // namespace mfd::net

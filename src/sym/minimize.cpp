@@ -1,0 +1,42 @@
+#include "sym/minimize.h"
+
+#include "sym/symmetrize.h"
+#include "sym/symmetry.h"
+
+namespace mfd {
+
+MinimizeResult minimize_robdd_size(const Isf& f, std::vector<int> vars) {
+  bdd::Manager& m = *f.manager();
+  if (vars.empty()) vars = f.support();
+
+  MinimizeResult result;
+  result.size_before = m.dag_size(f.extension_zero().id());
+
+  std::vector<Isf> fns{f};
+  const SymmetrizeStats stats = symmetrize(fns, vars);
+  result.symmetries_created = stats.ne_applied + stats.e_applied;
+
+  // Candidates: the symmetrized extension (spending remaining DCs via
+  // restrict), and the two direct extensions of the original — creating a
+  // symmetry is not always worth its care commitments, so keep the best.
+  bdd::Manager& m2 = *f.manager();
+  const bdd::Bdd candidates[] = {
+      fns[0].is_completely_specified() ? fns[0].on() : fns[0].extension_small(),
+      f.extension_small(),
+      f.extension_zero(),
+  };
+  result.function = candidates[0];
+  for (const bdd::Bdd& cand : candidates)
+    if (m2.dag_size(cand.id()) < m2.dag_size(result.function.id()))
+      result.function = cand;
+
+  // Order the result well: symmetric groups sifted as blocks.
+  if (!vars.empty() && m.live_node_count() < 200000) {
+    const std::vector<Isf> done{Isf::completely_specified(result.function)};
+    m.sift_symmetric(symmetry_groups(done, vars));
+  }
+  result.size_after = m.dag_size(result.function.id());
+  return result;
+}
+
+}  // namespace mfd

@@ -1,0 +1,26 @@
+// ROBDD-size minimization of incompletely specified functions by don't-care
+// assignment — the method of [20] (Scholl/Melchior/Hotz/Molitor, ED&TC'97)
+// that the paper's step 1 builds on, packaged as a standalone utility.
+//
+// Pipeline: (1) greedily assign don't cares to create NE/E pair symmetries
+// (symmetric functions have provably narrow BDD levels), then (2) spend the
+// remaining don't cares with the Coudert-Madre restrict operator, and
+// (3) group-sift the result. Returns a completely specified extension.
+#pragma once
+
+#include "isf/isf.h"
+
+namespace mfd {
+
+struct MinimizeResult {
+  bdd::Bdd function;     ///< a completely specified extension of the input
+  std::size_t size_before = 0;  ///< DAG size of the extension-zero baseline
+  std::size_t size_after = 0;   ///< DAG size of the returned function
+  int symmetries_created = 0;
+};
+
+/// Minimizes the ROBDD size of an extension of `f` over the given variables
+/// (default: f's support). Also reorders the manager (group sifting).
+MinimizeResult minimize_robdd_size(const Isf& f, std::vector<int> vars = {});
+
+}  // namespace mfd

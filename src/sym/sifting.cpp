@@ -1,0 +1,20 @@
+#include "sym/sifting.h"
+
+#include <algorithm>
+
+#include "sym/symmetry.h"
+
+namespace mfd {
+
+std::vector<std::vector<int>> symmetric_sift(bdd::Manager& m,
+                                             const std::vector<Isf>& fns,
+                                             const std::vector<int>& vars) {
+  std::vector<std::vector<int>> groups = symmetry_groups(fns, vars);
+  m.sift_symmetric(groups);
+  for (auto& g : groups)
+    std::sort(g.begin(), g.end(),
+              [&](int a, int b) { return m.level_of_var(a) < m.level_of_var(b); });
+  return groups;
+}
+
+}  // namespace mfd

@@ -1,0 +1,22 @@
+// Symmetric sifting: the variable-ordering seed of the bound-set search.
+//
+// Following [12,15], variables that are pairwise NE-symmetric in every output
+// are kept adjacent and sifted as a block; the resulting order groups
+// "interchangeable" variables, which is exactly the neighborhood structure
+// the bound-set search of the decomposition flow wants to scan.
+#pragma once
+
+#include <vector>
+
+#include "isf/isf.h"
+
+namespace mfd {
+
+/// Detects common NE-symmetry groups of `fns` over `vars`, then runs group
+/// sifting with them. Returns the groups (singletons included), each sorted
+/// by the variable's level after sifting.
+std::vector<std::vector<int>> symmetric_sift(bdd::Manager& m,
+                                             const std::vector<Isf>& fns,
+                                             const std::vector<int>& vars);
+
+}  // namespace mfd

@@ -1,0 +1,128 @@
+#include "sym/symmetry.h"
+
+#include <numeric>
+
+namespace mfd {
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+using bdd::NodeId;
+
+/// The two cofactor patterns whose equality defines the symmetry.
+struct SlotPair {
+  bool a_first, b_first;   // values of (var_a, var_b) in the first cofactor
+  bool a_second, b_second; // and in the second
+};
+
+SlotPair slots(SymmetryKind kind) {
+  if (kind == SymmetryKind::kNonequivalence) return {false, true, true, false};
+  return {false, false, true, true};
+}
+
+NodeId cof2(Manager& m, NodeId f, int va, bool a, int vb, bool b) {
+  return m.cofactor(m.cofactor(f, va, a), vb, b);
+}
+
+}  // namespace
+
+bool is_symmetric(Manager& m, NodeId f, int var_a, int var_b, SymmetryKind kind) {
+  const SlotPair s = slots(kind);
+  return cof2(m, f, var_a, s.a_first, var_b, s.b_first) ==
+         cof2(m, f, var_a, s.a_second, var_b, s.b_second);
+}
+
+bool isf_is_symmetric(const Isf& f, int var_a, int var_b, SymmetryKind kind) {
+  Manager& m = *f.manager();
+  return is_symmetric(m, f.on().id(), var_a, var_b, kind) &&
+         is_symmetric(m, f.care().id(), var_a, var_b, kind);
+}
+
+bool symmetrizable(const Isf& f, int var_a, int var_b, SymmetryKind kind) {
+  Manager& m = *f.manager();
+  const SlotPair s = slots(kind);
+  const NodeId on1 = cof2(m, f.on().id(), var_a, s.a_first, var_b, s.b_first);
+  const NodeId on2 = cof2(m, f.on().id(), var_a, s.a_second, var_b, s.b_second);
+  const NodeId ca1 = cof2(m, f.care().id(), var_a, s.a_first, var_b, s.b_first);
+  const NodeId ca2 = cof2(m, f.care().id(), var_a, s.a_second, var_b, s.b_second);
+  // Conflict: a point both slots care about, with different values.
+  const NodeId diff = m.apply_xor(on1, on2);
+  const NodeId conflict = m.apply_and(diff, m.apply_and(ca1, ca2));
+  return conflict == bdd::kFalse;
+}
+
+Isf make_symmetric(const Isf& f, int var_a, int var_b, SymmetryKind kind) {
+  Manager& m = *f.manager();
+  const SlotPair s = slots(kind);
+
+  auto quadrant = [&](const Bdd& g, bool a, bool b) {
+    return m.wrap(cof2(m, g.id(), var_a, a, var_b, b));
+  };
+  // Merge the two symmetry slots: the union of their information.
+  const Bdd on_m = quadrant(f.on(), s.a_first, s.b_first) |
+                   quadrant(f.on(), s.a_second, s.b_second);
+  const Bdd care_m = quadrant(f.care(), s.a_first, s.b_first) |
+                     quadrant(f.care(), s.a_second, s.b_second);
+
+  const Bdd la = m.var(var_a), lb = m.var(var_b);
+  auto cube = [&](bool a, bool b) {
+    return (a ? la : !la) & (b ? lb : !lb);
+  };
+
+  auto rebuild = [&](const Bdd& g, const Bdd& merged) {
+    Bdd result = g.manager()->bdd_false();
+    for (const bool a : {false, true}) {
+      for (const bool b : {false, true}) {
+        const bool in_first = (a == s.a_first && b == s.b_first);
+        const bool in_second = (a == s.a_second && b == s.b_second);
+        const Bdd slot_value =
+            (in_first || in_second) ? merged : quadrant(g, a, b);
+        result |= cube(a, b) & slot_value;
+      }
+    }
+    return result;
+  };
+
+  return Isf(rebuild(f.on(), on_m), rebuild(f.care(), care_m));
+}
+
+std::vector<std::vector<int>> symmetry_groups(const std::vector<Isf>& fns,
+                                              const std::vector<int>& vars) {
+  const int k = static_cast<int>(vars.size());
+  std::vector<int> parent(static_cast<std::size_t>(k));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      if (find(i) == find(j)) continue;
+      bool all = true;
+      for (const Isf& f : fns) {
+        if (!isf_is_symmetric(f, vars[i], vars[j], SymmetryKind::kNonequivalence)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) parent[find(i)] = find(j);
+    }
+  }
+
+  std::vector<std::vector<int>> groups(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) groups[static_cast<std::size_t>(find(i))].push_back(vars[i]);
+  std::erase_if(groups, [](const std::vector<int>& g) { return g.empty(); });
+  return groups;
+}
+
+std::vector<std::vector<int>> symmetry_groups(Manager& m,
+                                              const std::vector<NodeId>& fns,
+                                              const std::vector<int>& vars) {
+  std::vector<Isf> isfs;
+  isfs.reserve(fns.size());
+  for (NodeId f : fns) isfs.push_back(Isf::completely_specified(m.wrap(f)));
+  return symmetry_groups(isfs, vars);
+}
+
+}  // namespace mfd

@@ -1,0 +1,55 @@
+// Symmetry detection for (incompletely specified) Boolean functions.
+//
+// Symmetries matter twice in the decomposition flow (Section 4 of the paper):
+//  * a function symmetric in its whole bound set of size p needs at most
+//    ceil(log2(p+1)) decomposition functions, and
+//  * strict decomposition functions inherit the symmetries of the function
+//    they decompose, so symmetry gains persist through the recursion.
+//
+// We handle the two classic pair symmetries of [5]:
+//   nonequivalence (NE):  f|x_i=0,x_j=1 == f|x_i=1,x_j=0   (exchange x_i,x_j)
+//   equivalence (E):      f|x_i=0,x_j=0 == f|x_i=1,x_j=1
+// Both are instances of the G-symmetries of [6] (combinations of exchanges
+// and negations).
+#pragma once
+
+#include <vector>
+
+#include "isf/isf.h"
+
+namespace mfd {
+
+enum class SymmetryKind { kNonequivalence, kEquivalence };
+
+/// True iff the completely specified function `f` is NE/E-symmetric in
+/// (var_a, var_b).
+bool is_symmetric(bdd::Manager& m, bdd::NodeId f, int var_a, int var_b,
+                  SymmetryKind kind);
+
+/// True iff the ISF is symmetric *as a specification*: both the on-set and
+/// the care-set are invariant (don't cares treated as a third value).
+bool isf_is_symmetric(const Isf& f, int var_a, int var_b, SymmetryKind kind);
+
+/// True iff the don't cares of `f` can be assigned so that the result is
+/// NE/E-symmetric in (var_a, var_b): no input pattern where the two relevant
+/// cofactors are cared for with conflicting values.
+bool symmetrizable(const Isf& f, int var_a, int var_b, SymmetryKind kind);
+
+/// Assigns don't cares of `f` to make it NE/E-symmetric in (var_a, var_b).
+/// Precondition: symmetrizable(...). The assignment is minimal: only points
+/// forced by the mirror cofactor become cared for.
+Isf make_symmetric(const Isf& f, int var_a, int var_b, SymmetryKind kind);
+
+/// Partition of `vars` into maximal classes such that every listed function
+/// is NE-symmetric (as a specification) in every pair within a class.
+/// Exchange symmetry is transitive, so the classes are well defined.
+/// Singleton classes are included.
+std::vector<std::vector<int>> symmetry_groups(const std::vector<Isf>& fns,
+                                              const std::vector<int>& vars);
+
+/// Convenience overload for completely specified functions.
+std::vector<std::vector<int>> symmetry_groups(bdd::Manager& m,
+                                              const std::vector<bdd::NodeId>& fns,
+                                              const std::vector<int>& vars);
+
+}  // namespace mfd

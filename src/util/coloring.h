@@ -1,0 +1,43 @@
+// Graph coloring == minimum clique cover of the complement graph.
+//
+// The decomposition core needs minimum clique covers of *compatibility*
+// graphs over bound-set vertices (Chang & Marek-Sadowska step, and the
+// sharing-driven joint don't-care assignment). Compatibility of incompletely
+// specified cofactors is reflexive and symmetric but not transitive, so the
+// class structure is a clique cover, not a partition refinement. We compute
+// it as a proper coloring of the *incompatibility* graph: vertices with the
+// same color are pairwise compatible.
+//
+// Strategy: exact branch-and-bound for small graphs (the common case:
+// 2^p <= threshold vertices), DSATUR with iterated random restarts otherwise.
+#pragma once
+
+#include <vector>
+
+#include "util/graph.h"
+#include "util/rng.h"
+
+namespace mfd {
+
+struct ColoringOptions {
+  /// Graphs with at most this many vertices are colored exactly.
+  int exact_vertex_limit = 20;
+  /// Number of randomized DSATUR restarts for larger graphs.
+  int restarts = 8;
+  /// Seed for tie-breaking.
+  std::uint64_t seed = 1;
+};
+
+struct Coloring {
+  std::vector<int> color;  ///< color[v] in [0, num_colors)
+  int num_colors = 0;
+};
+
+/// Properly colors `g` (adjacent vertices receive distinct colors) with a
+/// heuristically (or, for small graphs, provably) minimal number of colors.
+Coloring color_graph(const Graph& g, const ColoringOptions& opts = {});
+
+/// True iff `c` is a proper coloring of `g`.
+bool coloring_is_proper(const Graph& g, const Coloring& c);
+
+}  // namespace mfd

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All randomized components of the library (synthetic benchmark generation,
+// coloring tie-breaks, property tests) draw from this generator so that every
+// run of the experiment harness is bit-reproducible. The implementation is
+// xoshiro256** seeded through SplitMix64, which has no measurable bias for the
+// small-range draws we perform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mfd {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with convenience helpers.
+class Rng {
+ public:
+  /// Seeds the state deterministically from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound). `bound` must be nonzero.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int range(int lo, int hi);
+
+  /// Bernoulli draw with probability `num/den`.
+  bool chance(std::uint32_t num, std::uint32_t den);
+
+  /// Fair coin.
+  bool flip() { return (next() >> 63) != 0; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mfd

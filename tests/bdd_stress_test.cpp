@@ -1,0 +1,234 @@
+// Soak tests for the BDD substrate: long randomized operation sequences
+// mirrored against a truth-table interpreter, with garbage collection and
+// dynamic reordering interleaved at random points. This is the test that
+// catches interactions the per-op unit tests cannot (cache invalidation
+// across GC, in-place swap vs. live handles, id recycling).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bdd/bdd.h"
+#include "testlib.h"
+#include "util/rng.h"
+
+namespace mfd {
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+using test::Table;
+
+Table table_and(const Table& a, const Table& b) {
+  Table r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] && b[i];
+  return r;
+}
+Table table_or(const Table& a, const Table& b) {
+  Table r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] || b[i];
+  return r;
+}
+Table table_xor(const Table& a, const Table& b) {
+  Table r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] != b[i];
+  return r;
+}
+Table table_not(const Table& a) {
+  Table r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = !a[i];
+  return r;
+}
+Table table_ite(const Table& f, const Table& g, const Table& h) {
+  Table r(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) r[i] = f[i] ? g[i] : h[i];
+  return r;
+}
+Table table_cof(const Table& a, int v, bool val, int n) {
+  Table r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::size_t j =
+        val ? (i | (std::size_t{1} << v)) : (i & ~(std::size_t{1} << v));
+    r[i] = a[j];
+  }
+  (void)n;
+  return r;
+}
+Table table_compose(const Table& f, int v, const Table& g) {
+  Table r(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const std::size_t j =
+        g[i] ? (i | (std::size_t{1} << v)) : (i & ~(std::size_t{1} << v));
+    r[i] = f[j];
+  }
+  return r;
+}
+
+class BddSoak : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddSoak, LongMixedSequenceMatchesInterpreter) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 101);
+  const int n = rng.range(4, 8);
+  Manager m(n);
+
+  // Parallel worlds: BDD handles and their truth tables.
+  std::vector<Bdd> fns;
+  std::vector<Table> tables;
+  for (int v = 0; v < n; ++v) {
+    fns.push_back(m.var(v));
+    Table t(std::size_t{1} << n);
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] = (i >> v) & 1;
+    tables.push_back(std::move(t));
+  }
+
+  const int steps = 300;
+  for (int step = 0; step < steps; ++step) {
+    const std::size_t count = fns.size();
+    auto pick = [&]() { return rng.below(count); };
+    switch (rng.below(10)) {
+      case 0: {  // and
+        const auto a = pick(), b = pick();
+        fns.push_back(fns[a] & fns[b]);
+        tables.push_back(table_and(tables[a], tables[b]));
+        break;
+      }
+      case 1: {  // or
+        const auto a = pick(), b = pick();
+        fns.push_back(fns[a] | fns[b]);
+        tables.push_back(table_or(tables[a], tables[b]));
+        break;
+      }
+      case 2: {  // xor
+        const auto a = pick(), b = pick();
+        fns.push_back(fns[a] ^ fns[b]);
+        tables.push_back(table_xor(tables[a], tables[b]));
+        break;
+      }
+      case 3: {  // not
+        const auto a = pick();
+        fns.push_back(!fns[a]);
+        tables.push_back(table_not(tables[a]));
+        break;
+      }
+      case 4: {  // ite
+        const auto a = pick(), b = pick(), c = pick();
+        fns.push_back(m.wrap(m.ite(fns[a].id(), fns[b].id(), fns[c].id())));
+        tables.push_back(table_ite(tables[a], tables[b], tables[c]));
+        break;
+      }
+      case 5: {  // cofactor
+        const auto a = pick();
+        const int v = rng.range(0, n - 1);
+        const bool val = rng.flip();
+        fns.push_back(fns[a].cofactor(v, val));
+        tables.push_back(table_cof(tables[a], v, val, n));
+        break;
+      }
+      case 6: {  // compose
+        const auto a = pick(), b = pick();
+        const int v = rng.range(0, n - 1);
+        fns.push_back(m.wrap(m.compose(fns[a].id(), v, fns[b].id())));
+        tables.push_back(table_compose(tables[a], v, tables[b]));
+        break;
+      }
+      case 7: {  // drop some handles, then GC
+        for (int d = 0; d < 5 && fns.size() > static_cast<std::size_t>(n) + 2; ++d) {
+          const std::size_t victim =
+              static_cast<std::size_t>(n) + rng.below(fns.size() - static_cast<std::size_t>(n));
+          fns.erase(fns.begin() + static_cast<std::ptrdiff_t>(victim));
+          tables.erase(tables.begin() + static_cast<std::ptrdiff_t>(victim));
+        }
+        m.garbage_collect();
+        break;
+      }
+      case 8: {  // random adjacent swap burst
+        for (int s = 0; s < 4; ++s) m.swap_adjacent_levels(rng.range(0, n - 2));
+        break;
+      }
+      case 9: {  // full sift
+        if (step % 3 == 0) m.sift();
+        break;
+      }
+    }
+  }
+
+  // Final deep check of every surviving function.
+  for (std::size_t i = 0; i < fns.size(); ++i)
+    EXPECT_EQ(test::table_from_bdd(m, fns[i].id(), n), tables[i]) << "function " << i;
+  // And the manager's bookkeeping survived: after GC, the live nodes are
+  // exactly the referenced closure (dag_size additionally counts the one or
+  // two reachable terminals, which are not "live" allocations).
+  m.garbage_collect();
+  std::vector<bdd::NodeId> roots;
+  for (const Bdd& f : fns) roots.push_back(f.id());
+  const std::size_t closure = m.dag_size(roots);
+  const std::size_t live = m.live_node_count();
+  EXPECT_GE(closure, live);
+  EXPECT_LE(closure, live + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddSoak, ::testing::Range(0, 10));
+
+TEST(BddSoak, ManagerScalesThroughGrowthAndCollapse) {
+  // Build a large structure, drop it, rebuild: the free list must recycle
+  // and the unique tables must not degrade.
+  Manager m(16);
+  const std::size_t baseline = m.live_node_count();
+  for (int round = 0; round < 5; ++round) {
+    {
+      Rng rng(static_cast<std::uint64_t>(round));
+      Bdd acc = m.bdd_false();
+      for (int c = 0; c < 200; ++c) {
+        Bdd cube = m.bdd_true();
+        for (int v = 0; v < 16; ++v)
+          if (rng.chance(1, 4)) cube &= m.literal(v, rng.flip());
+        acc |= cube;
+      }
+      EXPECT_GT(m.live_node_count(), baseline);
+    }
+    m.garbage_collect();
+    EXPECT_EQ(m.live_node_count(), baseline) << "round " << round;
+  }
+}
+
+TEST(BddSoak, QuantifierIdentities) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.range(3, 7);
+    Manager m(n);
+    const Bdd f = test::bdd_from_table(m, test::random_table(rng, n), n);
+    const Bdd g = test::bdd_from_table(m, test::random_table(rng, n), n);
+    const int v = rng.range(0, n - 1);
+    // De Morgan for quantifiers.
+    EXPECT_EQ(m.wrap(m.exists((!f).id(), {v})), !m.wrap(m.forall(f.id(), {v})));
+    // Quantifying all variables yields a constant: satisfiability.
+    std::vector<int> all;
+    for (int i = 0; i < n; ++i) all.push_back(i);
+    EXPECT_EQ(m.exists(f.id(), all), f.is_false() ? bdd::kFalse : bdd::kTrue);
+    // exists distributes over or.
+    EXPECT_EQ(m.exists((f | g).id(), {v}),
+              (m.wrap(m.exists(f.id(), {v})) | m.wrap(m.exists(g.id(), {v}))).id());
+  }
+}
+
+TEST(BddSoak, TransferUnderHeavyReordering) {
+  Rng rng(555);
+  Manager src(8);
+  std::vector<Bdd> fns;
+  std::vector<Table> tables;
+  for (int i = 0; i < 6; ++i) {
+    tables.push_back(test::random_table(rng, 8));
+    fns.push_back(test::bdd_from_table(src, tables.back(), 8));
+  }
+  src.sift();
+
+  Manager dst(8);
+  std::vector<int> order{7, 6, 5, 4, 3, 2, 1, 0};
+  dst.set_order(order);
+  for (int i = 0; i < 6; ++i) {
+    const Bdd moved = dst.wrap(dst.transfer_from(src, fns[static_cast<std::size_t>(i)].id()));
+    EXPECT_EQ(test::table_from_bdd(dst, moved.id(), 8), tables[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace mfd

@@ -1,0 +1,227 @@
+// PLA and BLIF readers/writers.
+#include <gtest/gtest.h>
+
+#include "io/blif.h"
+#include "io/pla.h"
+#include "core/synthesizer.h"
+#include "net/baselines.h"
+#include "net/simulate.h"
+#include "testlib.h"
+
+namespace mfd::io {
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+
+// ---------------------------------------------------------------------------
+// PLA
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSmallPla = R"(# a tiny fd-type PLA
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+1-0 10
+011 11
+--1 0-
+.e
+)";
+
+TEST(Pla, ParseRoundTrip) {
+  const PlaFile pla = parse_pla(kSmallPla);
+  EXPECT_EQ(pla.num_inputs, 3);
+  EXPECT_EQ(pla.num_outputs, 2);
+  EXPECT_EQ(pla.input_names, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(pla.cubes.size(), 3u);
+  EXPECT_EQ(pla.cubes[0].first, "1-0");
+  EXPECT_EQ(pla.cubes[0].second, "10");
+
+  const PlaFile again = parse_pla(write_pla(pla));
+  EXPECT_EQ(again.num_inputs, pla.num_inputs);
+  EXPECT_EQ(again.cubes, pla.cubes);
+}
+
+TEST(Pla, ToIsfsSemantics) {
+  Manager m;
+  const PlaFile pla = parse_pla(kSmallPla);
+  const std::vector<Isf> fns = pla_to_isfs(pla, m);
+  ASSERT_EQ(fns.size(), 2u);
+  const Bdd a = m.var(0), b = m.var(1), c = m.var(2);
+  // f: on = (a & !c) | (!a & b & c); the '0' of the third cube carries no
+  // information in an fd-type PLA, so f is completely specified.
+  EXPECT_EQ(fns[0].on(), (a & !c) | ((!a) & b & c));
+  EXPECT_TRUE(fns[0].is_completely_specified());
+  EXPECT_TRUE(fns[0].admits(fns[0].extension_zero()));
+  // g: on = !a & b & c; the third cube's '-' makes c=1 (minus on) don't care.
+  EXPECT_EQ(fns[1].on(), (!a) & b & c);
+  EXPECT_EQ(fns[1].dc(), c & !fns[1].on());
+}
+
+TEST(Pla, SingleTokenCubesAccepted) {
+  const PlaFile pla = parse_pla(".i 2\n.o 1\n11 1\n");
+  EXPECT_EQ(pla.cubes.size(), 1u);
+  const PlaFile merged = parse_pla(".i 2\n.o 1\n111\n");
+  EXPECT_EQ(merged.cubes, pla.cubes);
+}
+
+TEST(Pla, FrTypeCareIsListedPlanes) {
+  Manager m;
+  const PlaFile pla = parse_pla(".i 2\n.o 1\n.type fr\n11 1\n00 0\n");
+  const std::vector<Isf> fns = pla_to_isfs(pla, m);
+  const Bdd x0 = m.var(0), x1 = m.var(1);
+  EXPECT_EQ(fns[0].on(), x0 & x1);
+  EXPECT_EQ(fns[0].care(), (x0 & x1) | ((!x0) & (!x1)));
+}
+
+TEST(Pla, RejectsMalformedInput) {
+  EXPECT_THROW(parse_pla("11 1\n"), std::runtime_error);            // cube before .i/.o
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n1 1\n"), std::runtime_error); // width mismatch
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n1x 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n.unknown\n"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// BLIF
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSmallBlif = R"(.model tiny
+.inputs a b c
+.outputs f g
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.names c g
+0 1
+.end
+)";
+
+TEST(Blif, ParseBuildsCorrectFunctions) {
+  Manager m;
+  const BlifModel model = parse_blif(kSmallBlif, m);
+  EXPECT_EQ(model.name, "tiny");
+  ASSERT_EQ(model.functions.size(), 2u);
+  const Bdd a = m.var(0), b = m.var(1), c = m.var(2);
+  EXPECT_EQ(model.functions[0], (a & b) | c);
+  EXPECT_EQ(model.functions[1], !c);
+}
+
+TEST(Blif, ComplementedOutputPlane) {
+  Manager m;
+  const BlifModel model = parse_blif(
+      ".model x\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n", m);
+  EXPECT_EQ(model.functions[0], !(m.var(0) & m.var(1)));
+}
+
+TEST(Blif, ConstantNodes) {
+  Manager m;
+  const BlifModel model = parse_blif(
+      ".model x\n.inputs a\n.outputs f g\n.names f\n1\n.names g\n.end\n", m);
+  EXPECT_TRUE(model.functions[0].is_true());
+  EXPECT_TRUE(model.functions[1].is_false());
+}
+
+TEST(Blif, RejectsUndefinedSignals) {
+  Manager m;
+  EXPECT_THROW(parse_blif(".model x\n.inputs a\n.outputs f\n.names q f\n1 1\n.end\n", m),
+               std::runtime_error);
+  EXPECT_THROW(parse_blif(".model x\n.inputs a\n.outputs f\n.end\n", m),
+               std::runtime_error);
+}
+
+TEST(Blif, WriteParseRoundTripPreservesFunctions) {
+  // Serialize a real network and parse it back: functions must match.
+  net::LutNetwork net = net::ripple_carry_adder(3);
+  const std::string text = write_blif(net, "rca3");
+
+  Manager m;
+  const BlifModel model = parse_blif(text, m);
+  ASSERT_EQ(model.functions.size(), static_cast<std::size_t>(net.num_outputs()));
+
+  std::vector<int> pi_vars;
+  for (int i = 0; i < net.num_primary_inputs(); ++i) pi_vars.push_back(i);
+  const auto direct = net::output_bdds(net, m, pi_vars);
+  for (std::size_t o = 0; o < direct.size(); ++o)
+    EXPECT_EQ(model.functions[o], direct[o]) << "output " << o;
+}
+
+TEST(Blif, WriteHandlesConstantsAndBuffers) {
+  net::LutNetwork net(2);
+  net.add_output(net::kConst1);
+  net.add_output(0);  // PI passthrough
+  const std::string text = write_blif(net, "consts");
+  Manager m;
+  const BlifModel model = parse_blif(text, m);
+  EXPECT_TRUE(model.functions[0].is_true());
+  EXPECT_EQ(model.functions[1], m.var(0));
+}
+
+TEST(Blif, ContinuationsAndComments) {
+  Manager m;
+  const BlifModel model = parse_blif(
+      ".model c  # trailing comment\n"
+      ".inputs a \\\n b\n"
+      ".outputs f\n"
+      "# full-line comment\n"
+      ".names a b f\n"
+      "11 1\n"
+      ".end\n",
+      m);
+  ASSERT_EQ(model.inputs.size(), 2u);
+  EXPECT_EQ(model.functions[0], m.var(0) & m.var(1));
+}
+
+class IoFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoFuzz, RandomPlaRoundTripPreservesSemantics) {
+  mfd::Rng rng(static_cast<std::uint64_t>(GetParam()) * 127 + 7);
+  const int n_in = rng.range(2, 6);
+  const int n_out = rng.range(1, 4);
+  PlaFile pla;
+  pla.num_inputs = n_in;
+  pla.num_outputs = n_out;
+  const int cubes = rng.range(1, 10);
+  for (int c = 0; c < cubes; ++c) {
+    std::string in, out;
+    for (int i = 0; i < n_in; ++i) in += "01-"[rng.below(3)];
+    for (int o = 0; o < n_out; ++o) out += "01-"[rng.below(3)];
+    pla.cubes.emplace_back(std::move(in), std::move(out));
+  }
+
+  Manager m;
+  const std::vector<Isf> direct = pla_to_isfs(pla, m);
+  const std::vector<Isf> reparsed = pla_to_isfs(parse_pla(write_pla(pla)), m);
+  ASSERT_EQ(direct.size(), reparsed.size());
+  for (std::size_t o = 0; o < direct.size(); ++o) EXPECT_EQ(direct[o], reparsed[o]);
+}
+
+TEST_P(IoFuzz, SynthesizedNetworksSurviveBlifRoundTrip) {
+  mfd::Rng rng(static_cast<std::uint64_t>(GetParam()) * 51 + 13);
+  const int n = rng.range(4, 7);
+  Manager m(n);
+  std::vector<Isf> spec;
+  for (int o = 0; o < 2; ++o)
+    spec.push_back(Isf::completely_specified(
+        test::bdd_from_table(m, test::random_table(rng, n), n)));
+  std::vector<int> pis;
+  for (int i = 0; i < n; ++i) pis.push_back(i);
+  const auto result = mfd::Synthesizer(mfd::preset_mulop_dc(4)).run(spec, pis);
+  ASSERT_TRUE(result.verified);
+
+  // Serialize, re-parse, and compare functions exactly.
+  Manager m2;
+  const BlifModel model = parse_blif(write_blif(result.network, "fuzz"), m2);
+  const auto direct = net::output_bdds(result.network, m2, pis);
+  ASSERT_EQ(model.functions.size(), direct.size());
+  for (std::size_t o = 0; o < direct.size(); ++o)
+    EXPECT_EQ(model.functions[o], direct[o]) << "output " << o;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzz, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace mfd::io

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "testlib.h"
+#include "util/coloring.h"
+#include "util/graph.h"
+#include "util/matching.h"
+#include "util/rng.h"
+
+namespace mfd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(9);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+// ---------------------------------------------------------------------------
+// Graph
+// ---------------------------------------------------------------------------
+
+TEST(Graph, EdgesAndDegrees) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 2);  // duplicate ignored
+  g.add_edge(3, 3);  // self loop ignored
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(Graph, Complement) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const Graph c = g.complement();
+  EXPECT_FALSE(c.has_edge(0, 1));
+  EXPECT_TRUE(c.has_edge(0, 2));
+  EXPECT_EQ(c.num_edges(), 4 * 3 / 2 - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Coloring
+// ---------------------------------------------------------------------------
+
+TEST(Coloring, EmptyGraphOneColor) {
+  Graph g(5);
+  const Coloring c = color_graph(g);
+  EXPECT_TRUE(coloring_is_proper(g, c));
+  EXPECT_EQ(c.num_colors, 1);
+}
+
+TEST(Coloring, CompleteGraphNeedsN) {
+  Graph g(6);
+  for (int u = 0; u < 6; ++u)
+    for (int v = u + 1; v < 6; ++v) g.add_edge(u, v);
+  const Coloring c = color_graph(g);
+  EXPECT_TRUE(coloring_is_proper(g, c));
+  EXPECT_EQ(c.num_colors, 6);
+}
+
+TEST(Coloring, OddCycleNeedsThree) {
+  Graph g(5);
+  for (int i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5);
+  const Coloring c = color_graph(g);
+  EXPECT_TRUE(coloring_is_proper(g, c));
+  EXPECT_EQ(c.num_colors, 3);
+}
+
+TEST(Coloring, BipartiteNeedsTwo) {
+  Graph g(8);
+  for (int u = 0; u < 4; ++u)
+    for (int v = 4; v < 8; ++v) g.add_edge(u, v);
+  const Coloring c = color_graph(g);
+  EXPECT_TRUE(coloring_is_proper(g, c));
+  EXPECT_EQ(c.num_colors, 2);
+}
+
+class ColoringRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringRandom, MatchesBruteForceOnSmallGraphs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = rng.range(1, 9);
+  Graph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.chance(2, 5)) g.add_edge(u, v);
+  const Coloring c = color_graph(g);
+  ASSERT_TRUE(coloring_is_proper(g, c));
+  EXPECT_EQ(c.num_colors, test::brute_force_chromatic_number(g))
+      << "graph with " << n << " vertices, seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringRandom, ::testing::Range(0, 40));
+
+TEST(Coloring, LargeGraphStillProper) {
+  Rng rng(123);
+  Graph g(120);
+  for (int u = 0; u < 120; ++u)
+    for (int v = u + 1; v < 120; ++v)
+      if (rng.chance(1, 10)) g.add_edge(u, v);
+  const Coloring c = color_graph(g);
+  EXPECT_TRUE(coloring_is_proper(g, c));
+  EXPECT_GE(c.num_colors, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Matching
+// ---------------------------------------------------------------------------
+
+TEST(Matching, PathGraph) {
+  Graph g(4);  // path 0-1-2-3: perfect matching {01, 23}
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto mate = maximum_matching(g);
+  EXPECT_TRUE(matching_is_valid(g, mate));
+  EXPECT_EQ(matching_size(mate), 2);
+}
+
+TEST(Matching, OddCycleLeavesOneExposed) {
+  Graph g(5);
+  for (int i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5);
+  const auto mate = maximum_matching(g);
+  EXPECT_TRUE(matching_is_valid(g, mate));
+  EXPECT_EQ(matching_size(mate), 2);
+}
+
+TEST(Matching, BlossomRequired) {
+  // Classic case: triangle with a pendant path; greedy matching on the
+  // triangle first would block the augmenting path through the blossom.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);  // blossom
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  const auto mate = maximum_matching(g);
+  EXPECT_TRUE(matching_is_valid(g, mate));
+  EXPECT_EQ(matching_size(mate), 3);
+}
+
+TEST(Matching, Petersen) {
+  // The Petersen graph has a perfect matching (5 pairs) and plenty of odd
+  // cycles to exercise blossom contraction.
+  Graph g(10);
+  for (int i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);          // outer cycle
+    g.add_edge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    g.add_edge(i, 5 + i);                // spokes
+  }
+  const auto mate = maximum_matching(g);
+  EXPECT_TRUE(matching_is_valid(g, mate));
+  EXPECT_EQ(matching_size(mate), 5);
+}
+
+class MatchingRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchingRandom, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const int n = rng.range(2, 9);
+  Graph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.chance(1, 2)) g.add_edge(u, v);
+  const auto mate = maximum_matching(g);
+  ASSERT_TRUE(matching_is_valid(g, mate));
+  EXPECT_EQ(matching_size(mate), test::brute_force_max_matching(g))
+      << "seed " << GetParam() << ", n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingRandom, ::testing::Range(0, 60));
+
+TEST(Matching, EmptyAndSingletonGraphs) {
+  EXPECT_EQ(matching_size(maximum_matching(Graph(0))), 0);
+  EXPECT_EQ(matching_size(maximum_matching(Graph(1))), 0);
+  Graph g(3);  // no edges
+  const auto mate = maximum_matching(g);
+  EXPECT_TRUE(matching_is_valid(g, mate));
+  EXPECT_EQ(matching_size(mate), 0);
+}
+
+TEST(Matching, CompleteGraphsPairEveryone) {
+  for (const int n : {2, 4, 6, 7}) {
+    Graph g(n);
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+    const auto mate = maximum_matching(g);
+    EXPECT_TRUE(matching_is_valid(g, mate));
+    EXPECT_EQ(matching_size(mate), n / 2);
+  }
+}
+
+TEST(Coloring, SingleVertex) {
+  Graph g(1);
+  const Coloring c = color_graph(g);
+  EXPECT_TRUE(coloring_is_proper(g, c));
+  EXPECT_EQ(c.num_colors, 1);
+}
+
+TEST(Coloring, CrownGraphNeedsExactSearch) {
+  // Crown graph S_3^0 (K3,3 minus a perfect matching) is 2-chromatic but
+  // greedy orders can use 3 colors; the exact refinement must find 2.
+  Graph g(6);
+  for (int u = 0; u < 3; ++u)
+    for (int v = 0; v < 3; ++v)
+      if (u != v) g.add_edge(u, 3 + v);
+  const Coloring c = color_graph(g);
+  EXPECT_TRUE(coloring_is_proper(g, c));
+  EXPECT_EQ(c.num_colors, 2);
+}
+
+}  // namespace
+}  // namespace mfd
