@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_boundset.dir/ablation_boundset.cpp.o"
+  "CMakeFiles/ablation_boundset.dir/ablation_boundset.cpp.o.d"
+  "ablation_boundset"
+  "ablation_boundset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_boundset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

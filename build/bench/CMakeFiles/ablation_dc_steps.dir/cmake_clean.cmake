@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dc_steps.dir/ablation_dc_steps.cpp.o"
+  "CMakeFiles/ablation_dc_steps.dir/ablation_dc_steps.cpp.o.d"
+  "ablation_dc_steps"
+  "ablation_dc_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dc_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

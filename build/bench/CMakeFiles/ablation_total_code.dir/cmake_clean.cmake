@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_total_code.dir/ablation_total_code.cpp.o"
+  "CMakeFiles/ablation_total_code.dir/ablation_total_code.cpp.o.d"
+  "ablation_total_code"
+  "ablation_total_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_total_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

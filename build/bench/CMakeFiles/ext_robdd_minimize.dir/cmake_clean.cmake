@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_robdd_minimize.dir/ext_robdd_minimize.cpp.o"
+  "CMakeFiles/ext_robdd_minimize.dir/ext_robdd_minimize.cpp.o.d"
+  "ext_robdd_minimize"
+  "ext_robdd_minimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_robdd_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_xc4000.dir/ext_xc4000.cpp.o"
+  "CMakeFiles/ext_xc4000.dir/ext_xc4000.cpp.o.d"
+  "ext_xc4000"
+  "ext_xc4000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_xc4000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_adder.dir/fig2_adder.cpp.o"
+  "CMakeFiles/fig2_adder.dir/fig2_adder.cpp.o.d"
+  "fig2_adder"
+  "fig2_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_multiplier.dir/fig3_multiplier.cpp.o"
+  "CMakeFiles/fig3_multiplier.dir/fig3_multiplier.cpp.o.d"
+  "fig3_multiplier"
+  "fig3_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

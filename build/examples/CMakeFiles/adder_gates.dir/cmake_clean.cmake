@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_gates.dir/adder_gates.cpp.o"
+  "CMakeFiles/adder_gates.dir/adder_gates.cpp.o.d"
+  "adder_gates"
+  "adder_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

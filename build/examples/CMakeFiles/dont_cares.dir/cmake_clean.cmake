@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dont_cares.dir/dont_cares.cpp.o"
+  "CMakeFiles/dont_cares.dir/dont_cares.cpp.o.d"
+  "dont_cares"
+  "dont_cares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dont_cares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

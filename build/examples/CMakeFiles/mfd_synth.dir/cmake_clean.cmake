@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfd_synth.dir/mfd_synth.cpp.o"
+  "CMakeFiles/mfd_synth.dir/mfd_synth.cpp.o.d"
+  "mfd_synth"
+  "mfd_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfd_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

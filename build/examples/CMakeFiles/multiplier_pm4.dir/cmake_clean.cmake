@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplier_pm4.dir/multiplier_pm4.cpp.o"
+  "CMakeFiles/multiplier_pm4.dir/multiplier_pm4.cpp.o.d"
+  "multiplier_pm4"
+  "multiplier_pm4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplier_pm4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

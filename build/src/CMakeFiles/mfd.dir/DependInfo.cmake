@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/io.cpp" "src/CMakeFiles/mfd.dir/bdd/io.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/bdd/io.cpp.o.d"
+  "/root/repo/src/bdd/isop.cpp" "src/CMakeFiles/mfd.dir/bdd/isop.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/bdd/isop.cpp.o.d"
+  "/root/repo/src/bdd/manager.cpp" "src/CMakeFiles/mfd.dir/bdd/manager.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/bdd/manager.cpp.o.d"
+  "/root/repo/src/bdd/ops.cpp" "src/CMakeFiles/mfd.dir/bdd/ops.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/bdd/ops.cpp.o.d"
+  "/root/repo/src/bdd/reorder.cpp" "src/CMakeFiles/mfd.dir/bdd/reorder.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/bdd/reorder.cpp.o.d"
+  "/root/repo/src/circuits/arith.cpp" "src/CMakeFiles/mfd.dir/circuits/arith.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/circuits/arith.cpp.o.d"
+  "/root/repo/src/circuits/mcnc.cpp" "src/CMakeFiles/mfd.dir/circuits/mcnc.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/circuits/mcnc.cpp.o.d"
+  "/root/repo/src/core/synthesizer.cpp" "src/CMakeFiles/mfd.dir/core/synthesizer.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/core/synthesizer.cpp.o.d"
+  "/root/repo/src/decomp/boundset.cpp" "src/CMakeFiles/mfd.dir/decomp/boundset.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/decomp/boundset.cpp.o.d"
+  "/root/repo/src/decomp/compat.cpp" "src/CMakeFiles/mfd.dir/decomp/compat.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/decomp/compat.cpp.o.d"
+  "/root/repo/src/decomp/dc_assign.cpp" "src/CMakeFiles/mfd.dir/decomp/dc_assign.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/decomp/dc_assign.cpp.o.d"
+  "/root/repo/src/decomp/decompose.cpp" "src/CMakeFiles/mfd.dir/decomp/decompose.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/decomp/decompose.cpp.o.d"
+  "/root/repo/src/decomp/encoding.cpp" "src/CMakeFiles/mfd.dir/decomp/encoding.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/decomp/encoding.cpp.o.d"
+  "/root/repo/src/io/blif.cpp" "src/CMakeFiles/mfd.dir/io/blif.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/io/blif.cpp.o.d"
+  "/root/repo/src/io/pla.cpp" "src/CMakeFiles/mfd.dir/io/pla.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/io/pla.cpp.o.d"
+  "/root/repo/src/isf/isf.cpp" "src/CMakeFiles/mfd.dir/isf/isf.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/isf/isf.cpp.o.d"
+  "/root/repo/src/map/clb.cpp" "src/CMakeFiles/mfd.dir/map/clb.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/map/clb.cpp.o.d"
+  "/root/repo/src/net/baselines.cpp" "src/CMakeFiles/mfd.dir/net/baselines.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/net/baselines.cpp.o.d"
+  "/root/repo/src/net/lutnet.cpp" "src/CMakeFiles/mfd.dir/net/lutnet.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/net/lutnet.cpp.o.d"
+  "/root/repo/src/net/simulate.cpp" "src/CMakeFiles/mfd.dir/net/simulate.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/net/simulate.cpp.o.d"
+  "/root/repo/src/sym/minimize.cpp" "src/CMakeFiles/mfd.dir/sym/minimize.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/sym/minimize.cpp.o.d"
+  "/root/repo/src/sym/sifting.cpp" "src/CMakeFiles/mfd.dir/sym/sifting.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/sym/sifting.cpp.o.d"
+  "/root/repo/src/sym/symmetrize.cpp" "src/CMakeFiles/mfd.dir/sym/symmetrize.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/sym/symmetrize.cpp.o.d"
+  "/root/repo/src/sym/symmetry.cpp" "src/CMakeFiles/mfd.dir/sym/symmetry.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/sym/symmetry.cpp.o.d"
+  "/root/repo/src/util/coloring.cpp" "src/CMakeFiles/mfd.dir/util/coloring.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/util/coloring.cpp.o.d"
+  "/root/repo/src/util/graph.cpp" "src/CMakeFiles/mfd.dir/util/graph.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/util/graph.cpp.o.d"
+  "/root/repo/src/util/matching.cpp" "src/CMakeFiles/mfd.dir/util/matching.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/util/matching.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/mfd.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/mfd.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

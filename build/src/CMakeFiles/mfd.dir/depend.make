@@ -1,0 +1,2 @@
+# Empty dependencies file for mfd.
+# This may be replaced when dependencies are built.

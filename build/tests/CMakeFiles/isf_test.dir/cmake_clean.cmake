@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isf_test.dir/isf_test.cpp.o"
+  "CMakeFiles/isf_test.dir/isf_test.cpp.o.d"
+  "isf_test"
+  "isf_test.pdb"
+  "isf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

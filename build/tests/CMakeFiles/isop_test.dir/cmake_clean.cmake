@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_test.dir/isop_test.cpp.o"
+  "CMakeFiles/isop_test.dir/isop_test.cpp.o.d"
+  "isop_test"
+  "isop_test.pdb"
+  "isop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

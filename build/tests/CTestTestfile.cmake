@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/bdd_test[1]_include.cmake")
+include("/root/repo/build/tests/bdd_reorder_test[1]_include.cmake")
+include("/root/repo/build/tests/isop_test[1]_include.cmake")
+include("/root/repo/build/tests/bdd_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/isf_test[1]_include.cmake")
+include("/root/repo/build/tests/sym_test[1]_include.cmake")
+include("/root/repo/build/tests/decomp_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/map_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/circuits_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
