@@ -39,7 +39,7 @@ void run_circuit(benchmark::State& state, const std::string& name) {
       opts.decomp.symmetric_sift = cfg.sift;
       opts.decomp.boundset.improvement_passes = cfg.improvement_passes;
       opts.decomp.boundset.max_evaluations = cfg.max_evaluations;
-      const auto row = run_flow(name, opts);
+      const auto row = run_flow(name, opts, cfg.label);
       g_rows[name][cfg.label] = row.clb_greedy;
       state.counters[cfg.label] = row.clb_greedy;
     }
@@ -75,8 +75,10 @@ int main(int argc, char** argv) {
                                  [name](benchmark::State& s) { run_circuit(s, name); })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+  mfd::bench::init_stats(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();
+  mfd::bench::write_stats_json();
   return 0;
 }

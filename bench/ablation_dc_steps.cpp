@@ -43,7 +43,7 @@ mfd::SynthesisOptions config_options(const Config& cfg) {
 void run_circuit(benchmark::State& state, const std::string& name) {
   for (auto _ : state) {
     for (const Config& cfg : kConfigs) {
-      const auto row = run_flow(name, config_options(cfg));
+      const auto row = run_flow(name, config_options(cfg), cfg.label);
       g_rows[name][cfg.label] = row.clb_greedy;
       state.counters[cfg.label] = row.clb_greedy;
     }
@@ -82,8 +82,10 @@ int main(int argc, char** argv) {
                                  [name](benchmark::State& s) { run_circuit(s, name); })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+  mfd::bench::init_stats(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();
+  mfd::bench::write_stats_json();
   return 0;
 }

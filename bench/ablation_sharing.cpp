@@ -20,8 +20,8 @@ void run_circuit(benchmark::State& state, const std::string& name) {
     mfd::SynthesisOptions share = mfd::preset_mulop_dc(5);
     mfd::SynthesisOptions noshare = share;
     noshare.decomp.share_functions = false;
-    const FlowRun with = run_flow(name, share);
-    const FlowRun without = run_flow(name, noshare);
+    const FlowRun with = run_flow(name, share, "share");
+    const FlowRun without = run_flow(name, noshare, "noshare");
     g_rows[name] = {with, without};
     state.counters["clb_share"] = with.clb_greedy;
     state.counters["clb_noshare"] = without.clb_greedy;
@@ -61,8 +61,10 @@ int main(int argc, char** argv) {
                                  [name](benchmark::State& s) { run_circuit(s, name); })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+  mfd::bench::init_stats(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();
+  mfd::bench::write_stats_json();
   return 0;
 }

@@ -22,10 +22,10 @@ std::map<std::string, std::pair<FlowRun, FlowRun>> g_rows;
 
 void run_circuit(benchmark::State& state, const std::string& name) {
   for (auto _ : state) {
-    const FlowRun ours = run_flow(name, mfd::preset_mulop_dc(5));
+    const FlowRun ours = run_flow(name, mfd::preset_mulop_dc(5), "mulop-dc");
     mfd::SynthesisOptions total = mfd::preset_mulop_dc(5);
     total.decomp.total_minimal_code = true;
-    const FlowRun theirs = run_flow(name, total);
+    const FlowRun theirs = run_flow(name, total, "total-code");
     g_rows[name] = {ours, theirs};
     state.counters["clb_per_output_minimal"] = ours.clb_greedy;
     state.counters["clb_total_minimal"] = theirs.clb_greedy;
@@ -61,8 +61,10 @@ int main(int argc, char** argv) {
                                  [name](benchmark::State& s) { run_circuit(s, name); })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+  mfd::bench::init_stats(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();
+  mfd::bench::write_stats_json();
   return 0;
 }

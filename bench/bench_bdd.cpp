@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bdd/bdd.h"
+#include "bench_common.h"
 #include "circuits/circuits.h"
 #include "util/rng.h"
 
@@ -115,4 +116,12 @@ BENCHMARK(BM_SatCount);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  mfd::bench::init_stats(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  mfd::bench::write_stats_json();
+  return 0;
+}

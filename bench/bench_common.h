@@ -1,20 +1,29 @@
 // Shared helpers for the experiment harness binaries (one per paper
 // table/figure, see DESIGN.md's per-experiment index).
+//
+// Every binary supports `--stats-json <path>` (or `--stats-json=<path>`):
+// each run_flow() call is recorded with its full observability report and
+// the collected records are written as one JSON document at exit. Call
+// init_stats() before benchmark::Initialize (it strips the flag from argv)
+// and write_stats_json() before returning from main.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "circuits/circuits.h"
 #include "core/synthesizer.h"
+#include "obs/json.h"
 
 namespace mfd::bench {
 
 struct FlowRun {
   std::string circuit;
+  std::string flow;  ///< preset label ("mulop-dc", "mulopII", ...), may be empty
   int inputs = 0;
   int outputs = 0;
   int luts = 0;
@@ -24,16 +33,114 @@ struct FlowRun {
   int depth = 0;
   DecomposeStats stats;
   double seconds = 0.0;
+  obs::Report report;  ///< phase tree + counters + gauges of this run
 };
 
+namespace detail {
+
+struct StatsSink {
+  std::string path;    // empty until --stats-json is seen
+  std::string binary;  // argv[0] basename
+  std::vector<std::string> rows;  // pre-serialized FlowRun objects
+};
+
+inline StatsSink& sink() {
+  static StatsSink s;
+  return s;
+}
+
+inline std::string flow_run_json(const FlowRun& row) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("circuit").value(row.circuit);
+  w.key("flow").value(row.flow);
+  w.key("inputs").value(row.inputs);
+  w.key("outputs").value(row.outputs);
+  w.key("luts").value(row.luts);
+  w.key("clb_greedy").value(row.clb_greedy);
+  w.key("clb_matching").value(row.clb_matching);
+  w.key("gates").value(row.gates);
+  w.key("depth").value(row.depth);
+  w.key("seconds").value(row.seconds);
+  w.key("decompose").begin_object();
+  w.key("steps").value(row.stats.decomposition_steps);
+  w.key("shannon_fallbacks").value(row.stats.shannon_fallbacks);
+  w.key("functions").value(static_cast<std::int64_t>(row.stats.total_decomposition_functions));
+  w.key("sum_r").value(static_cast<std::int64_t>(row.stats.sum_r));
+  w.key("symmetrized_pairs").value(row.stats.symmetrized_pairs);
+  w.key("max_depth").value(row.stats.max_depth);
+  w.key("bdd_mux_fallbacks").value(row.stats.bdd_mux_fallbacks);
+  w.end_object();
+  w.key("report").raw(row.report.to_json());
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace detail
+
+/// Strips `--stats-json <path>` / `--stats-json=<path>` from argv (so the
+/// flag never reaches benchmark::Initialize) and remembers the output path.
+inline void init_stats(int* argc, char** argv) {
+  detail::StatsSink& s = detail::sink();
+  if (*argc > 0) {
+    const char* slash = std::strrchr(argv[0], '/');
+    s.binary = slash != nullptr ? slash + 1 : argv[0];
+  }
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--stats-json") == 0 && i + 1 < *argc) {
+      s.path = argv[++i];
+    } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
+      s.path = arg + 13;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Records a completed flow run for --stats-json output (no-op when the flag
+/// was not given). run_flow() calls this automatically.
+inline void record_run(const FlowRun& row) {
+  detail::StatsSink& s = detail::sink();
+  if (s.path.empty()) return;
+  s.rows.push_back(detail::flow_run_json(row));
+}
+
+/// Writes the collected records to the --stats-json path, if one was given.
+/// Safe to call unconditionally at the end of main.
+inline void write_stats_json() {
+  const detail::StatsSink& s = detail::sink();
+  if (s.path.empty()) return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("binary").value(s.binary);
+  w.key("runs").begin_array();
+  for (const std::string& row : s.rows) w.raw(row);
+  w.end_array();
+  w.end_object();
+  std::FILE* f = std::fopen(s.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", s.path.c_str());
+    return;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("stats written to %s (%zu runs)\n", s.path.c_str(), s.rows.size());
+}
+
 /// Runs one synthesis flow on a named benchmark in a fresh manager.
-inline FlowRun run_flow(const std::string& name, const SynthesisOptions& opts) {
+inline FlowRun run_flow(const std::string& name, const SynthesisOptions& opts,
+                        const std::string& flow = "") {
   bdd::Manager m;
   const circuits::Benchmark bench = circuits::build(name, m);
   Synthesizer synth(opts);
   const SynthesisResult r = synth.run(bench);
   FlowRun row;
   row.circuit = name;
+  row.flow = flow;
   row.inputs = bench.num_inputs;
   row.outputs = static_cast<int>(bench.outputs.size());
   row.luts = r.network.count_luts();
@@ -43,6 +150,8 @@ inline FlowRun run_flow(const std::string& name, const SynthesisOptions& opts) {
   row.depth = r.network.depth();
   row.stats = r.stats;
   row.seconds = r.seconds;
+  row.report = r.report;
+  record_run(row);
   return row;
 }
 

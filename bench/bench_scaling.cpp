@@ -18,7 +18,7 @@ std::vector<Row> g_rows;
 
 void run_one(benchmark::State& state, const std::string& name) {
   for (auto _ : state) {
-    const auto r = mfd::bench::run_flow(name, mfd::preset_mulop_dc(5));
+    const auto r = mfd::bench::run_flow(name, mfd::preset_mulop_dc(5), "mulop-dc");
     g_rows.push_back({name, r.inputs, r.luts, r.clb_matching, r.seconds});
     state.counters["luts"] = r.luts;
   }
@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
                                  [name](benchmark::State& s) { run_one(s, name); })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+  mfd::bench::init_stats(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -42,5 +43,6 @@ int main(int argc, char** argv) {
   for (const Row& r : g_rows)
     std::printf("%-8s %6d %6d %6d %7.2fs\n", r.name.c_str(), r.inputs, r.luts,
                  r.clbs, r.seconds);
+  mfd::bench::write_stats_json();
   return 0;
 }

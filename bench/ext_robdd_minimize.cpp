@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
                                  [dc](benchmark::State& s) { run_density(s, dc); })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+  mfd::bench::init_stats(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
                  100.0 * r.avg_after / std::max(1.0, r.avg_before), r.avg_symmetries);
   std::printf("\nshape check: more don't cares -> smaller chosen extensions;\n");
   std::printf("the curve flattens once symmetries saturate.\n");
+  mfd::bench::write_stats_json();
   return 0;
 }

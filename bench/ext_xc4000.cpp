@@ -21,7 +21,7 @@ std::map<std::string, Row> g_rows;
 void run_circuit(benchmark::State& state, const std::string& name) {
   for (auto _ : state) {
     Row row;
-    row.xc3000 = mfd::bench::run_flow(name, mfd::preset_mulop_dc(5)).clb_matching;
+    row.xc3000 = mfd::bench::run_flow(name, mfd::preset_mulop_dc(5), "mulop-dc").clb_matching;
 
     mfd::bdd::Manager m;
     const auto bench = mfd::circuits::build(name, m);
@@ -64,8 +64,10 @@ int main(int argc, char** argv) {
                                  [name](benchmark::State& s) { run_circuit(s, name); })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+  mfd::bench::init_stats(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();
+  mfd::bench::write_stats_json();
   return 0;
 }

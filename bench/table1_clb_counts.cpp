@@ -18,8 +18,8 @@ std::map<std::string, std::pair<FlowRun, FlowRun>> g_rows;
 
 void run_circuit(benchmark::State& state, const std::string& name) {
   for (auto _ : state) {
-    const FlowRun base = run_flow(name, mfd::preset_mulopII(5));
-    const FlowRun dc = run_flow(name, mfd::preset_mulop_dc(5));
+    const FlowRun base = run_flow(name, mfd::preset_mulopII(5), "mulopII");
+    const FlowRun dc = run_flow(name, mfd::preset_mulop_dc(5), "mulop-dc");
     g_rows[name] = {base, dc};
     state.counters["clb_mulopII"] = base.clb_greedy;
     state.counters["clb_mulop_dc"] = dc.clb_greedy;
@@ -58,8 +58,10 @@ int main(int argc, char** argv) {
                                  [name](benchmark::State& s) { run_circuit(s, name); })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+  mfd::bench::init_stats(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();
+  mfd::bench::write_stats_json();
   return 0;
 }

@@ -27,8 +27,8 @@ std::map<std::string, Row> g_rows;
 void run_circuit(benchmark::State& state, const std::string& name) {
   for (auto _ : state) {
     Row row;
-    row.dcII = run_flow(name, mfd::preset_mulop_dc(5));
-    row.noshare = run_flow(name, mfd::preset_noshare_nodc(5));
+    row.dcII = run_flow(name, mfd::preset_mulop_dc(5), "mulop-dc");
+    row.noshare = run_flow(name, mfd::preset_noshare_nodc(5), "noshare-nodc");
     g_rows[name] = row;
     state.counters["clb_mulop_dcII"] = row.dcII.clb_matching;
     state.counters["clb_noshare_nodc"] = row.noshare.clb_matching;
@@ -65,8 +65,10 @@ int main(int argc, char** argv) {
                                  [name](benchmark::State& s) { run_circuit(s, name); })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+  mfd::bench::init_stats(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table();
+  mfd::bench::write_stats_json();
   return 0;
 }

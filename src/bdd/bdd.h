@@ -186,6 +186,13 @@ class Manager {
   void garbage_collect();
   std::size_t live_node_count() const { return live_nodes_; }
   const ManagerStats& stats() const { return stats_; }
+  /// Total nodes currently held by the unique subtables (live + dead).
+  std::size_t unique_table_size() const;
+  /// Publishes this manager's lifetime stats (live/peak nodes, unique-table
+  /// size, GC runs, computed-cache hit rate, reorder swaps) as observability
+  /// gauges under `<prefix>.*` — the flow calls this at report flush points
+  /// so the counters in ManagerStats finally surface (see docs/OBSERVABILITY.md).
+  void publish_stats(const char* prefix = "bdd") const;
 
   // ---- reordering (reorder.cpp) -------------------------------------------
   /// Swaps the variables at levels `level` and `level+1` in place.

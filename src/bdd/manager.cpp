@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace mfd::bdd {
 
 namespace {
@@ -232,6 +234,36 @@ void Manager::garbage_collect() {
   }
   // Node ids may now be recycled: drop every cached operation result.
   for (auto& e : cache_) e = CacheEntry{};
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+std::size_t Manager::unique_table_size() const {
+  std::size_t total = 0;
+  for (const Subtable& t : subtables_) total += t.count;
+  return total;
+}
+
+void Manager::publish_stats(const char* prefix) const {
+  if (!obs::enabled()) return;
+  const std::string p(prefix);
+  obs::gauge_set(p + ".live_nodes", static_cast<double>(live_nodes_));
+  obs::gauge_set(p + ".dead_nodes", static_cast<double>(dead_nodes_));
+  obs::gauge_set(p + ".peak_nodes", static_cast<double>(stats_.peak_nodes));
+  obs::gauge_set(p + ".unique_table_size", static_cast<double>(unique_table_size()));
+  obs::gauge_set(p + ".num_vars", static_cast<double>(num_vars()));
+  obs::gauge_set(p + ".unique_hits", static_cast<double>(stats_.unique_hits));
+  obs::gauge_set(p + ".cache_hits", static_cast<double>(stats_.cache_hits));
+  obs::gauge_set(p + ".cache_lookups", static_cast<double>(stats_.cache_lookups));
+  obs::gauge_set(p + ".cache_hit_rate",
+                 stats_.cache_lookups == 0
+                     ? 0.0
+                     : static_cast<double>(stats_.cache_hits) /
+                           static_cast<double>(stats_.cache_lookups));
+  obs::gauge_set(p + ".gc_runs", static_cast<double>(stats_.gc_runs));
+  obs::gauge_set(p + ".reorder_swaps", static_cast<double>(stats_.reorder_swaps));
 }
 
 // ---------------------------------------------------------------------------

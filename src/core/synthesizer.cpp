@@ -10,8 +10,13 @@ namespace mfd {
 SynthesisResult Synthesizer::run(std::vector<Isf> spec,
                                  const std::vector<int>& pi_vars) const {
   const auto start = std::chrono::steady_clock::now();
+  // One run == one observability epoch: the report in the result covers
+  // exactly this synthesis (including both portfolio entries).
+  obs::reset();
+  obs::ScopedPhase phase("synthesize");
   SynthesisResult result;
 
+  bdd::Manager* mgr = spec.empty() ? nullptr : spec.front().manager();
   const std::vector<Isf> original = spec;  // keep for verification
   result.network = decompose(spec, pi_vars, opts_.decomp, &result.stats);
 
@@ -20,24 +25,37 @@ SynthesisResult Synthesizer::run(std::vector<Isf> spec,
     conservative.max_bound_extra = 0;
     DecomposeStats alt_stats;
     net::LutNetwork alt = decompose(spec, pi_vars, conservative, &alt_stats);
+    obs::add("synth.portfolio_runs");
     if (alt.count_luts() < result.network.count_luts()) {
       result.network = std::move(alt);
       result.stats = alt_stats;
+      obs::add("synth.portfolio_conservative_won");
     }
   }
   spec.clear();
 
   if (opts_.verify) {
+    obs::ScopedPhase verify_phase("verify");
     std::string error;
     if (!net::check_exact(result.network, original, pi_vars, &error))
       throw std::runtime_error("synthesis verification failed: " + error);
     result.verified = true;
   }
 
-  result.clb_greedy = map::pack_greedy(result.network, opts_.clb);
-  result.clb_matching = map::pack_matching(result.network, opts_.clb);
+  {
+    obs::ScopedPhase pack_phase("pack");
+    result.clb_greedy = map::pack_greedy(result.network, opts_.clb);
+    result.clb_matching = map::pack_matching(result.network, opts_.clb);
+  }
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  obs::gauge_set("net.luts", result.network.count_luts());
+  obs::gauge_set("net.gates", result.network.count_gates());
+  obs::gauge_set("net.depth", result.network.depth());
+  obs::gauge_set("synth.seconds", result.seconds);
+  if (mgr != nullptr) mgr->publish_stats();
+  result.report = obs::collect();
   return result;
 }
 

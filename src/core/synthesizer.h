@@ -17,6 +17,7 @@
 #include "isf/isf.h"
 #include "map/clb.h"
 #include "net/lutnet.h"
+#include "obs/obs.h"
 
 namespace mfd {
 
@@ -39,6 +40,10 @@ struct SynthesisResult {
   map::ClbResult clb_matching;  ///< mulop-dcII packing
   bool verified = false;        ///< true iff verification ran and passed
   double seconds = 0.0;
+  /// Phase tree + counters + gauges of this run (see docs/OBSERVABILITY.md).
+  /// `run` resets the process-wide registry at entry, so the report covers
+  /// exactly this synthesis; BDD gauges are manager-lifetime totals.
+  obs::Report report;
 };
 
 class Synthesizer {

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "decomp/compat.h"
+#include "obs/obs.h"
 #include "util/coloring.h"
 
 namespace mfd {
@@ -156,6 +157,9 @@ BoundSetChoice select_bound_set(const std::vector<Isf>& fns,
     }
     if (!improved) break;
   }
+  obs::add("boundset.searches");
+  obs::add("boundset.candidates_evaluated", static_cast<std::uint64_t>(evaluations));
+  if (!best.vars.empty()) obs::add("boundset.found");
   return best;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.h"
 #include "util/coloring.h"
 
 namespace mfd {
@@ -91,6 +92,12 @@ int assign_joint(std::vector<CofactorTable>& tables, std::uint64_t seed) {
   int k = 0;
   const std::vector<int> klass = color_classes(red, incompatible, seed, &k);
   for (CofactorTable& t : tables) merge_classes(t, klass, k);
+  // ncc delta of the paper's step 2: distinct joint cofactor vectors before
+  // the merge vs joint classes after (the sharing lower bound).
+  obs::add("decomp.share.calls");
+  obs::add("decomp.share.ncc_before",
+           static_cast<std::uint64_t>(red.vertex_of_rep.size()));
+  obs::add("decomp.share.ncc_after", static_cast<std::uint64_t>(k));
   return k;
 }
 
@@ -110,6 +117,13 @@ std::vector<std::vector<int>> assign_per_output(std::vector<CofactorTable>& tabl
     // Merging may have made distinct color classes identical; the final
     // partition is the equality partition, which is at least as coarse.
     partitions.push_back(partition_by_equality(t));
+    // ncc delta of the paper's step 3, per output: distinct cofactors
+    // entering the merge vs classes of the final partition.
+    obs::add("decomp.per_output.calls");
+    obs::add("decomp.per_output.ncc_before",
+             static_cast<std::uint64_t>(red.vertex_of_rep.size()));
+    obs::add("decomp.per_output.ncc_after",
+             static_cast<std::uint64_t>(num_classes(partitions.back())));
   }
   return partitions;
 }

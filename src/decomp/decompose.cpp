@@ -11,6 +11,7 @@
 #include "decomp/compat.h"
 #include "decomp/dc_assign.h"
 #include "decomp/encoding.h"
+#include "obs/obs.h"
 #include "sym/symmetrize.h"
 #include "sym/symmetry.h"
 
@@ -209,6 +210,7 @@ int emit_bdd_muxes(Ctx& c, const Isf& f) {
 /// yields one.
 std::vector<int> shannon_step(Ctx& c, const std::vector<Isf>& fns, int depth) {
   ++c.stats.shannon_fallbacks;
+  obs::add("decomp.shannon_fallbacks");
   bdd::Manager& m = c.m;
 
   // Split on the variable occurring in the most supports.
@@ -233,6 +235,7 @@ std::vector<int> shannon_step(Ctx& c, const std::vector<Isf>& fns, int depth) {
     halves.push_back(f.cofactor(split, false));
     halves.push_back(f.cofactor(split, true));
   }
+  obs::ScopedPhase recurse_phase("recurse");
   const std::vector<int> sub = synth(c, std::move(halves), depth + 1);
 
   const int sel = c.signal_of(split);
@@ -273,6 +276,7 @@ std::vector<int> fallback_emit(Ctx& c, const std::vector<Isf>& work, int depth) 
     } else {
       sigs[i] = emit_bdd_muxes(c, work[i]);
       ++c.stats.bdd_mux_fallbacks;
+      obs::add("decomp.bdd_mux_fallbacks");
     }
   }
   if (!small_fns.empty()) {
@@ -285,6 +289,8 @@ std::vector<int> fallback_emit(Ctx& c, const std::vector<Isf>& work, int depth) 
 
 std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
   c.stats.max_depth = std::max(c.stats.max_depth, depth);
+  obs::add("decomp.levels");
+  obs::gauge_max("decomp.max_depth", depth);
   bdd::Manager& m = c.m;
   const int k = c.opts.lut_inputs;
 
@@ -345,6 +351,7 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
   // ---- step 1: symmetrize --------------------------------------------
   if (c.opts.exploit_dc && c.opts.dc_symmetrize &&
       static_cast<int>(active.size()) <= c.opts.symmetrize_max_vars) {
+    obs::ScopedPhase phase("symmetrize");
     const SymmetrizeStats s = symmetrize(work, active);
     c.stats.symmetrized_pairs += s.ne_applied + s.e_applied;
   }
@@ -363,6 +370,8 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
                  depth, groups.size());
   if (c.opts.symmetric_sift && depth == 0 &&
       m.live_node_count() <= static_cast<std::size_t>(c.opts.sift_max_live_nodes)) {
+    obs::ScopedPhase phase("sift");
+    obs::add("decomp.sift_runs");
     m.sift_symmetric(groups, /*max_growth=*/1.2);
   }
   if (c.opts.trace) std::fprintf(stderr, "[%8.0fms synth d=%d] sifted\n", trace_ms(), depth);
@@ -398,6 +407,7 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
                              static_cast<int>(active.size()) - 1);
   BoundSetChoice choice;
   if (base_p >= 2) {
+    obs::ScopedPhase boundset_phase("boundset");
     choice = select_bound_set(work, order, base_p, bopts);
     // An oversized bound set recurses on its decomposition functions, whose
     // real cost the estimate below can only bound loosely — require it to beat the in-budget bound set before accepting one. The
@@ -426,7 +436,10 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
   tables.reserve(work.size());
   for (const Isf& f : work) tables.push_back(cofactor_table(f, bound));
 
-  if (c.opts.exploit_dc && c.opts.dc_joint) assign_joint(tables, c.opts.seed);
+  if (c.opts.exploit_dc && c.opts.dc_joint) {
+    obs::ScopedPhase phase("share");
+    assign_joint(tables, c.opts.seed);
+  }
 
   std::vector<std::vector<int>> partitions;
   if (c.opts.total_minimal_code) {
@@ -446,6 +459,7 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
     }
     partitions.assign(tables.size(), joint);
   } else if (c.opts.exploit_dc && c.opts.dc_per_output) {
+    obs::ScopedPhase phase("per_output");
     partitions = assign_per_output(tables, c.opts.seed);
   } else {
     partitions.reserve(tables.size());
@@ -455,8 +469,11 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
   if (c.opts.trace) std::fprintf(stderr, "[%8.0fms synth d=%d] dc steps done\n", trace_ms(), depth);
 
   // ---- encode the decomposition functions ---------------------------------
-  const Encoding enc = encode_shared(partitions, static_cast<int>(bound.size()),
-                                     c.opts.share_functions);
+  const Encoding enc = [&] {
+    obs::ScopedPhase phase("encode");
+    return encode_shared(partitions, static_cast<int>(bound.size()),
+                         c.opts.share_functions);
+  }();
   assert(encoding_is_valid(enc, partitions));
 
   // Re-check actual progress: the joint assignment optimizes sharing and may
@@ -484,6 +501,8 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
   ++c.stats.decomposition_steps;
   c.stats.total_decomposition_functions += enc.total_functions();
   for (std::size_t i = 0; i < work.size(); ++i) c.stats.sum_r += enc.r(static_cast<int>(i));
+  obs::add("decomp.steps");
+  obs::add("decomp.functions_emitted", static_cast<std::uint64_t>(enc.total_functions()));
 
   std::vector<int> code_vars(static_cast<std::size_t>(enc.total_functions()));
   if (static_cast<int>(bound.size()) <= k) {
@@ -515,6 +534,7 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
       }
       alpha_fns.push_back(Isf::completely_specified(alpha));
     }
+    obs::ScopedPhase recurse_phase("recurse");
     const std::vector<int> alpha_sigs = synth(c, std::move(alpha_fns), depth + 1);
     for (int j = 0; j < enc.total_functions(); ++j) {
       const int var = m.add_var();
@@ -545,6 +565,7 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
   work.clear();
   m.garbage_collect();
 
+  obs::ScopedPhase recurse_phase("recurse");
   const std::vector<int> sigs = synth(c, std::move(g_fns), depth + 1);
   for (std::size_t i = 0; i < big.size(); ++i) result[big[i]] = sigs[i];
   return result;
@@ -555,6 +576,8 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
 net::LutNetwork decompose(std::vector<Isf> fns, const std::vector<int>& pi_vars,
                           const DecomposeOptions& opts, DecomposeStats* stats) {
   assert(!fns.empty());
+  obs::ScopedPhase phase("decompose");
+  obs::add("decomp.runs");
   bdd::Manager& m = *fns.front().manager();
   Ctx c{m, opts, net::LutNetwork(static_cast<int>(pi_vars.size())), {}, {}};
   c.var_signal.assign(static_cast<std::size_t>(m.num_vars()), kNoSignal);

@@ -6,6 +6,7 @@
 
 #include "decomp/compat.h"
 #include "decomp/dc_assign.h"
+#include "obs/obs.h"
 
 namespace mfd {
 namespace {
@@ -121,6 +122,7 @@ Encoding encode_shared(const std::vector<std::vector<int>>& partitions, int p,
       if (best_fn != -1) {
         values = std::move(best_values);
         selected.push_back(best_fn);
+        obs::add("encoding.pool_hits");
       } else {
         // Fresh balanced splitter: in every cell, the first half of the
         // classes gets 0, the rest 1. ceil(s/2) <= 2^(remaining-1) holds by
@@ -139,11 +141,13 @@ Encoding encode_shared(const std::vector<std::vector<int>>& partitions, int p,
           fn[v] = values[static_cast<std::size_t>(part[v])] != 0;
         enc.functions.push_back(std::move(fn));
         selected.push_back(enc.total_functions() - 1);
+        obs::add("encoding.fresh_splitters");
       }
       apply_split(values);
     }
     assert(num_cells == k && "classes must be fully separated by r functions");
   }
+  obs::add("encoding.outputs_encoded", static_cast<std::uint64_t>(m));
   return enc;
 }
 

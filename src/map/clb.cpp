@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.h"
 #include "util/matching.h"
 
 namespace mfd::map {
@@ -46,6 +47,10 @@ ClbResult pack_matching(const net::LutNetwork& net, const ClbOptions& opts) {
   r.num_luts = g.num_vertices();
   r.merged_pairs = matching_size(mate);
   r.num_clbs = r.num_luts - r.merged_pairs;
+  obs::add("clb.matching.luts", static_cast<std::uint64_t>(r.num_luts));
+  obs::add("clb.matching.mergeable_edges", static_cast<std::uint64_t>(g.num_edges()));
+  obs::add("clb.matching.pairs", static_cast<std::uint64_t>(r.merged_pairs));
+  obs::add("clb.matching.clbs", static_cast<std::uint64_t>(r.num_clbs));
   return r;
 }
 
@@ -68,6 +73,9 @@ ClbResult pack_greedy(const net::LutNetwork& net, const ClbOptions& opts) {
     }
   }
   r.num_clbs = r.num_luts - r.merged_pairs;
+  obs::add("clb.greedy.luts", static_cast<std::uint64_t>(r.num_luts));
+  obs::add("clb.greedy.pairs", static_cast<std::uint64_t>(r.merged_pairs));
+  obs::add("clb.greedy.clbs", static_cast<std::uint64_t>(r.num_clbs));
   return r;
 }
 
@@ -130,6 +138,9 @@ Xc4000Result pack_xc4000(const net::LutNetwork& net) {
   r.pairs = remaining / 2;
   r.singles = remaining % 2;
   r.num_clbs = r.h_triples + r.pairs + r.singles;
+  obs::add("clb.xc4000.luts", static_cast<std::uint64_t>(r.num_luts));
+  obs::add("clb.xc4000.h_triples", static_cast<std::uint64_t>(r.h_triples));
+  obs::add("clb.xc4000.clbs", static_cast<std::uint64_t>(r.num_clbs));
   (void)live;
   return r;
 }

@@ -1,0 +1,22 @@
+// Cross-TU plumbing of the observability subsystem (not part of the public
+// surface; include obs/obs.h instead).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace mfd::obs::detail {
+
+void snapshot_scalars(std::map<std::string, std::uint64_t>* out_counters,
+                      std::map<std::string, double>* out_gauges);
+void reset_scalars();
+
+/// Merged copy of every thread's phase tree (root "total"); open phases
+/// contribute partially elapsed time.
+PhaseNode snapshot_phases();
+void reset_phases();
+
+}  // namespace mfd::obs::detail

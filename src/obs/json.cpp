@@ -1,0 +1,123 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mfd::obs {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (!comma_due_.empty()) {
+    if (comma_due_.back()) out_ += ',';
+    comma_due_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  comma_due_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  comma_due_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  comma_due_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  comma_due_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (comma_due_.back()) out_ += ',';
+  comma_due_.back() = false;  // the upcoming value completes the pair
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  before_value();
+  out_ += json;
+  return *this;
+}
+
+}  // namespace mfd::obs

@@ -1,0 +1,52 @@
+// Minimal zero-dependency JSON emitter.
+//
+// A push-style writer: begin/end object and array scopes, keys, scalar
+// values. Commas and quoting are handled internally; strings are escaped per
+// RFC 8259. Numbers are emitted so they round-trip: integers as-is, doubles
+// with enough digits (and non-finite doubles as null, which JSON lacks).
+// Used by the observability report and the bench --stats-json wrappers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfd::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key of the next value (only valid directly inside an object).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+
+  /// Splices a pre-rendered JSON document as the next value (no validation).
+  JsonWriter& raw(std::string_view json);
+
+  /// The document so far. Call after the outermost scope is closed.
+  const std::string& str() const { return out_; }
+
+  static std::string escape(std::string_view s);
+
+ private:
+  void before_value();
+
+  std::string out_;
+  // true = a value has already been written at this nesting depth (a comma
+  // is due before the next one).
+  std::vector<bool> comma_due_;
+};
+
+}  // namespace mfd::obs

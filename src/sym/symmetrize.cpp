@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "obs/obs.h"
+
 namespace mfd {
 namespace {
 
@@ -101,6 +103,11 @@ SymmetrizeStats symmetrize(std::vector<Isf>& fns, const std::vector<int>& vars,
     }
     if (!applied_any) break;
   }
+  // Step-1 observability: how many pair symmetries the don't cares bought.
+  obs::add("sym.symmetrize.calls");
+  obs::add("sym.symmetrize.pairs_ne", static_cast<std::uint64_t>(stats.ne_applied));
+  obs::add("sym.symmetrize.pairs_e", static_cast<std::uint64_t>(stats.e_applied));
+  obs::add("sym.symmetrize.rounds", static_cast<std::uint64_t>(stats.rounds));
   return stats;
 }
 

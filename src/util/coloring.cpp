@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace mfd {
 namespace {
 
@@ -67,6 +69,7 @@ class ExactColorer {
     best_ = initial;
     color_.assign(n_, -1);
     branch(0, 0);
+    obs::add("coloring.exact_nodes", static_cast<std::uint64_t>(kBudget - budget_));
     return best_;
   }
 
@@ -95,9 +98,11 @@ class ExactColorer {
     }
   }
 
+  static constexpr long kBudget = 500000;
+
   const Graph& g_;
   int n_;
-  long budget_ = 500000;
+  long budget_ = kBudget;
   std::vector<int> order_;
   std::vector<int> color_;
   Coloring best_;
@@ -106,6 +111,8 @@ class ExactColorer {
 }  // namespace
 
 Coloring color_graph(const Graph& g, const ColoringOptions& opts) {
+  obs::add("coloring.calls");
+  obs::add("coloring.dsatur_runs", static_cast<std::uint64_t>(opts.restarts));
   Rng rng(opts.seed);
   Coloring best = dsatur(g, rng);
   for (int r = 1; r < opts.restarts; ++r) {
@@ -113,6 +120,7 @@ Coloring color_graph(const Graph& g, const ColoringOptions& opts) {
     if (c.num_colors < best.num_colors) best = c;
   }
   if (g.num_vertices() <= opts.exact_vertex_limit && g.num_vertices() > 0) {
+    obs::add("coloring.exact_runs");
     ExactColorer exact(g);
     Coloring c = exact.solve(best);
     if (c.num_colors < best.num_colors) best = c;
