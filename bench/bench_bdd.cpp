@@ -3,9 +3,12 @@
 // symmetric functions, random tables), plus sifting.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bdd/bdd.h"
 #include "bench_common.h"
 #include "circuits/circuits.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace {
@@ -66,7 +69,7 @@ void BM_CofactorEnumeration(benchmark::State& state) {
   // The inner loop of ncc computation: all 2^p cube cofactors.
   Manager m;
   const auto bench = mfd::circuits::adder(m, 8);
-  const mfd::bdd::NodeId f = bench.outputs[7].id();
+  const mfd::bdd::Edge f = bench.outputs[7].id();
   for (auto _ : state) {
     for (std::uint32_t v = 0; v < 32; ++v) {
       std::vector<std::pair<int, bool>> a;
@@ -114,6 +117,43 @@ void BM_SatCount(benchmark::State& state) {
 }
 BENCHMARK(BM_SatCount);
 
+// Deterministic one-shot profile of the BDD core itself, recorded as a
+// --stats-json row (run_flow rows cover whole synthesis flows; this row
+// isolates the substrate so CI artifacts carry its peak-node and
+// cache-hit-rate trend). Negation-heavy on purpose: XNOR chains, De Morgan
+// duals of previously built conjunctions, and complemented parity are the
+// shapes where complement edges pay off.
+void record_bdd_profile() {
+  mfd::obs::reset();
+  Manager m;
+  const auto bench = mfd::circuits::adder(m, 16);
+  const auto& outs = bench.outputs;
+  Bdd chain = m.bdd_true();
+  for (std::size_t i = 1; i < outs.size(); ++i) chain &= outs[i].iff(outs[i - 1]);
+  Bdd prods = m.bdd_false();
+  Bdd duals = m.bdd_true();
+  for (std::size_t i = 1; i < outs.size(); ++i) {
+    prods |= outs[i] & outs[i - 1];
+    duals &= (!outs[i]) | (!outs[i - 1]);
+  }
+  Bdd par = m.bdd_false();
+  for (const Bdd& o : outs) par ^= !o;
+  benchmark::DoNotOptimize(chain.id());
+  benchmark::DoNotOptimize((prods ^ duals).id());
+  benchmark::DoNotOptimize(par.id());
+  m.publish_stats();
+  mfd::bench::FlowRun row;
+  row.circuit = "bdd_profile";
+  row.flow = "bdd-core";
+  row.inputs = bench.num_inputs;
+  row.outputs = static_cast<int>(outs.size());
+  row.report = mfd::obs::collect();
+  mfd::bench::record_run(row);
+  std::printf("bdd_profile: peak_nodes=%.0f live_nodes=%.0f cache_hit_rate=%.4f cache_size=%.0f\n",
+              mfd::obs::gauge_value("bdd.peak_nodes"), mfd::obs::gauge_value("bdd.live_nodes"),
+              mfd::obs::gauge_value("bdd.cache_hit_rate"), mfd::obs::gauge_value("bdd.cache_size"));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,6 +162,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  record_bdd_profile();
   mfd::bench::write_stats_json();
   return 0;
 }

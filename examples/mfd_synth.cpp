@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
     }
 
     if (!dot_path.empty()) {
-      std::vector<bdd::NodeId> roots;
+      std::vector<bdd::Edge> roots;
       for (const Isf& f : spec) roots.push_back(f.on().id());
       std::ofstream(dot_path) << m.to_dot(roots, out_names);
     }

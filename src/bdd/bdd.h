@@ -1,39 +1,89 @@
-// From-scratch ROBDD package (the CUDD substitute of this reproduction).
+// From-scratch ROBDD package with complement edges (the CUDD substitute of
+// this reproduction).
 //
 // Design notes
 // ------------
+// * Edges are tagged pointers (`Edge`): bit 0 carries the complement
+//   attribute, the remaining bits index the node arena. There is a single
+//   terminal node ONE at arena index 0; the constants are `kTrue` (a regular
+//   edge to ONE) and `kFalse` (a complemented edge to ONE). Negation is O(1) —
+//   flip the tag — and f and !f share every node.
+// * Canonical form (Brace/Rudell/Bryant): the then-edge of every stored node
+//   is regular. `mk` enforces this by complementing both children and
+//   returning a complemented edge whenever the then-child arrives
+//   complemented, so each function keeps exactly one representation and
+//   structural equality remains functional equality.
 // * Nodes live in a single arena (`std::vector<Node>`) addressed by 32-bit
-//   ids; ids 0/1 are the terminal constants. No complement edges: the
-//   decomposition algorithms gain nothing from them and plain edges keep the
-//   reduction rules and the reordering swap simple to reason about.
-// * One unique subtable per *variable* (not per level); dynamic reordering
-//   rewrites nodes in place, so parents never need forwarding pointers.
-// * Reference counts include both external references (held via the RAII
-//   `Bdd` handle) and parent edges. Dereferencing only marks nodes dead;
-//   `garbage_collect()` reclaims them (and clears the computed table, since
-//   ids may be recycled). GC never runs inside a recursive operation, so
-//   operation intermediates with zero external references are safe.
-// * The computed table is a fixed-size, lossy, direct-mapped cache keyed by
-//   (op, f, g, h). In-place reordering preserves node identity==function, so
-//   the cache stays valid across swaps and is only cleared by GC.
+//   indices. One unique subtable per *variable* (not per level); dynamic
+//   reordering rewrites nodes in place, so parents never need forwarding
+//   pointers. The in-place swap preserves the then-regular invariant for
+//   free: the (v1=1)-cofactor it feeds into `mk` is itself a stored then-edge
+//   and therefore regular.
+// * Reference counts (on nodes, not edges) include both external references
+//   (held via the RAII `Bdd` handle) and parent edges. Dereferencing only
+//   marks nodes dead; `garbage_collect()` reclaims them and clears the
+//   computed table, since indices may be recycled. GC also fires reactively
+//   from `mk` and operation entry once dead subgraph roots pass an absolute
+//   floor and a fixed share of the node population, but only between
+//   operations (never mid-recursion, never during reordering) and with the
+//   immediate arguments pinned; callers that keep *unreferenced* raw results
+//   alive across several public calls must hold a `Manager::AutoGcPause`.
+// * The computed table is a lossy, direct-mapped cache keyed by
+//   (op, f, g, h) edge bits. ITE normalizes its triple first — constant and
+//   complementary arguments are rewritten to a standard representative and
+//   complements are pushed to the outputs — so equivalent calls such as
+//   AND(f,g)/AND(g,f)/!OR(!f,!g) share one cache line. The cache starts
+//   small and doubles (up to a cap) as the node population grows.
 //
-// The public surface is the `Bdd` value type; `NodeId`-level functions are
+// The public surface is the `Bdd` value type; `Edge`-level functions are
 // exposed for the algorithmic core (decomposition enumerates cofactors in
 // tight loops and manages references in bulk).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace mfd::bdd {
 
-using NodeId = std::uint32_t;
+/// Arena index of a node (bit 0 of an Edge stripped).
+using NodeIndex = std::uint32_t;
 
-inline constexpr NodeId kFalse = 0;
-inline constexpr NodeId kTrue = 1;
-inline constexpr NodeId kInvalid = 0xFFFFFFFFu;
+/// Tagged edge: (node index << 1) | complement bit. Value-semantic, 4 bytes.
+class Edge {
+ public:
+  /// Default is the constant false function (complemented edge to ONE).
+  constexpr Edge() = default;
+  constexpr explicit Edge(std::uint32_t bits) : bits_(bits) {}
+  static constexpr Edge make(NodeIndex index, bool complemented) {
+    return Edge((index << 1) | (complemented ? 1u : 0u));
+  }
+
+  constexpr std::uint32_t bits() const { return bits_; }
+  constexpr NodeIndex index() const { return bits_ >> 1; }
+  constexpr bool is_complemented() const { return (bits_ & 1u) != 0; }
+  /// The same edge with the complement bit cleared.
+  constexpr Edge regular() const { return Edge(bits_ & ~1u); }
+
+  /// O(1) negation: flip the complement bit.
+  constexpr Edge operator!() const { return Edge(bits_ ^ 1u); }
+  /// Conditional complement (`e ^ c` complements e iff c).
+  constexpr Edge operator^(bool c) const { return Edge(bits_ ^ (c ? 1u : 0u)); }
+
+  friend constexpr bool operator==(Edge a, Edge b) { return a.bits_ == b.bits_; }
+  friend constexpr bool operator!=(Edge a, Edge b) { return a.bits_ != b.bits_; }
+  // Arbitrary-but-stable order so edges can key std::map / be sorted.
+  friend constexpr bool operator<(Edge a, Edge b) { return a.bits_ < b.bits_; }
+
+ private:
+  std::uint32_t bits_ = 1;
+};
+
+inline constexpr Edge kTrue{0};   // regular edge to the terminal ONE
+inline constexpr Edge kFalse{1};  // complemented edge to the terminal ONE
+inline constexpr Edge kInvalid{0xFFFFFFFFu};
 inline constexpr std::uint32_t kTerminalVar = 0xFFFFFFFFu;
 
 class Manager;
@@ -42,7 +92,7 @@ class Manager;
 class Bdd {
  public:
   Bdd() = default;
-  Bdd(Manager* mgr, NodeId id);  // takes one reference on id
+  Bdd(Manager* mgr, Edge id);  // takes one reference on id's node
   Bdd(const Bdd& other);
   Bdd(Bdd&& other) noexcept;
   Bdd& operator=(const Bdd& other);
@@ -51,11 +101,11 @@ class Bdd {
 
   bool valid() const { return mgr_ != nullptr; }
   Manager* manager() const { return mgr_; }
-  NodeId id() const { return id_; }
+  Edge id() const { return id_; }
 
   bool is_false() const { return id_ == kFalse; }
   bool is_true() const { return id_ == kTrue; }
-  bool is_constant() const { return id_ <= kTrue; }
+  bool is_constant() const { return id_.index() == 0; }
 
   // Structural equality is functional equality (canonicity).
   friend bool operator==(const Bdd& a, const Bdd& b) {
@@ -66,7 +116,7 @@ class Bdd {
   Bdd operator&(const Bdd& o) const;
   Bdd operator|(const Bdd& o) const;
   Bdd operator^(const Bdd& o) const;
-  Bdd operator!() const;
+  Bdd operator!() const;  // O(1): same nodes, complemented root edge
   Bdd& operator&=(const Bdd& o) { return *this = *this & o; }
   Bdd& operator|=(const Bdd& o) { return *this = *this | o; }
   Bdd& operator^=(const Bdd& o) { return *this = *this ^ o; }
@@ -80,14 +130,14 @@ class Bdd {
 
   /// Cofactor with respect to a single variable.
   Bdd cofactor(int var, bool value) const;
-  /// Number of BDD nodes reachable from this root (including terminals).
+  /// Number of BDD nodes reachable from this root (including the terminal).
   std::size_t size() const;
 
  private:
   void release();
 
   Manager* mgr_ = nullptr;
-  NodeId id_ = kFalse;
+  Edge id_ = kFalse;
 };
 
 /// Statistics snapshot of a manager (for tests, logging, benchmarks).
@@ -99,6 +149,8 @@ struct ManagerStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_lookups = 0;
   std::uint64_t gc_runs = 0;
+  std::uint64_t gc_auto_runs = 0;  // subset of gc_runs triggered from mk()
+  std::uint64_t cache_resizes = 0;
   std::uint64_t reorder_swaps = 0;
 };
 
@@ -110,6 +162,21 @@ class Manager {
   ~Manager();
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
+
+  /// Scoped suppression of reactive GC. Required around sequences of public
+  /// operations whose *unreferenced* raw Edge results must stay alive from
+  /// one call to the next (e.g. the ISOP recursion); handle-held roots never
+  /// need it.
+  class AutoGcPause {
+   public:
+    explicit AutoGcPause(Manager& m) : m_(m) { ++m_.gc_pause_; }
+    ~AutoGcPause() { --m_.gc_pause_; }
+    AutoGcPause(const AutoGcPause&) = delete;
+    AutoGcPause& operator=(const AutoGcPause&) = delete;
+
+   private:
+    Manager& m_;
+  };
 
   // ---- variables and order -------------------------------------------
   int num_vars() const { return static_cast<int>(var_to_level_.size()); }
@@ -128,59 +195,64 @@ class Manager {
   Bdd var(int v);
   /// x_var or its complement.
   Bdd literal(int v, bool positive);
-  /// Wraps a node id into a handle (adds a reference).
-  Bdd wrap(NodeId id) { return Bdd(this, id); }
+  /// Wraps an edge into a handle (adds a reference).
+  Bdd wrap(Edge id) { return Bdd(this, id); }
 
-  // ---- raw node access -------------------------------------------------
-  std::uint32_t node_var(NodeId n) const { return nodes_[n].var; }
-  NodeId node_lo(NodeId n) const { return nodes_[n].lo; }
-  NodeId node_hi(NodeId n) const { return nodes_[n].hi; }
-  bool is_terminal(NodeId n) const { return n <= kTrue; }
-  int node_level(NodeId n) const {
-    return is_terminal(n) ? num_vars() : var_to_level_[nodes_[n].var];
+  // ---- raw edge access -------------------------------------------------
+  std::uint32_t node_var(Edge e) const { return nodes_[e.index()].var; }
+  /// Else-cofactor of e's function (the stored edge with e's tag applied).
+  Edge node_lo(Edge e) const { return nodes_[e.index()].lo ^ e.is_complemented(); }
+  /// Then-cofactor of e's function.
+  Edge node_hi(Edge e) const { return nodes_[e.index()].hi ^ e.is_complemented(); }
+  bool is_terminal(Edge e) const { return e.index() == 0; }
+  int node_level(Edge e) const {
+    return is_terminal(e) ? num_vars() : var_to_level_[nodes_[e.index()].var];
   }
 
   /// Find-or-create the reduced node (var, lo, hi). Returns `lo` if lo==hi.
-  NodeId mk(int var, NodeId lo, NodeId hi);
+  /// Canonicalizes so the stored then-edge is regular (see header notes).
+  Edge mk(int var, Edge lo, Edge hi);
 
-  void ref(NodeId n);
-  void deref(NodeId n);
+  void ref(Edge e);
+  void deref(Edge e);
 
-  // ---- core operations (NodeId level; results returned unreferenced) ----
-  NodeId ite(NodeId f, NodeId g, NodeId h);
-  NodeId apply_and(NodeId f, NodeId g) { return ite(f, g, kFalse); }
-  NodeId apply_or(NodeId f, NodeId g) { return ite(f, kTrue, g); }
-  NodeId apply_xor(NodeId f, NodeId g);
-  NodeId apply_not(NodeId f) { return ite(f, kFalse, kTrue); }
-  NodeId cofactor(NodeId f, int var, bool value);
+  // ---- core operations (Edge level; results returned unreferenced) ----
+  Edge ite(Edge f, Edge g, Edge h);
+  Edge apply_and(Edge f, Edge g) { return ite(f, g, kFalse); }
+  Edge apply_or(Edge f, Edge g) { return ite(f, kTrue, g); }
+  Edge apply_xor(Edge f, Edge g);
+  Edge apply_not(Edge f) { return !f; }  // O(1)
+  Edge cofactor(Edge f, int var, bool value);
   /// Simultaneous cofactor by a partial assignment (var -> value).
-  NodeId cofactor_cube(NodeId f, const std::vector<std::pair<int, bool>>& a);
+  Edge cofactor_cube(Edge f, const std::vector<std::pair<int, bool>>& a);
   /// Existential quantification over the given variables.
-  NodeId exists(NodeId f, const std::vector<int>& vars);
-  NodeId forall(NodeId f, const std::vector<int>& vars);
+  Edge exists(Edge f, const std::vector<int>& vars);
+  Edge forall(Edge f, const std::vector<int>& vars);
   /// Substitute function g for variable var in f.
-  NodeId compose(NodeId f, int var, NodeId g);
+  Edge compose(Edge f, int var, Edge g);
   /// Coudert-Madre generalized cofactor ("restrict"): returns a function r
   /// with f & care <= r <= f | !care that tends to have a small BDD — the
   /// classic way to spend don't cares (!care) on representation size.
-  /// `care` must not be constant false.
-  NodeId restrict_to(NodeId f, NodeId care);
+  /// `care` must not be constant false (aborts loudly if it is).
+  Edge restrict_to(Edge f, Edge care);
   /// Exchange two variables in f (functional swap, order unchanged).
-  NodeId swap_vars(NodeId f, int va, int vb);
+  Edge swap_vars(Edge f, int va, int vb);
   /// Rename variables: f(x_perm[0], x_perm[1], ...); perm[i] = new var for old var i.
-  NodeId permute(NodeId f, const std::vector<int>& perm);
+  Edge permute(Edge f, const std::vector<int>& perm);
 
   // ---- queries -----------------------------------------------------------
-  bool eval(NodeId f, const std::vector<bool>& assignment) const;
+  bool eval(Edge f, const std::vector<bool>& assignment) const;
   /// Variables f genuinely depends on, ascending by index.
-  std::vector<int> support(NodeId f) const;
+  std::vector<int> support(Edge f) const;
   /// Number of satisfying assignments over `nv` variables.
-  double sat_count(NodeId f, int nv) const;
-  /// Any satisfying assignment (over all manager variables); f must not be kFalse.
-  std::vector<bool> pick_one(NodeId f) const;
-  std::size_t dag_size(NodeId f) const;
-  /// DAG size of a set of roots counted once (shared nodes not double counted).
-  std::size_t dag_size(const std::vector<NodeId>& roots) const;
+  double sat_count(Edge f, int nv) const;
+  /// Any satisfying assignment (over all manager variables); f must not be
+  /// kFalse (aborts loudly if it is).
+  std::vector<bool> pick_one(Edge f) const;
+  std::size_t dag_size(Edge f) const;
+  /// DAG size of a set of roots counted once (shared nodes not double
+  /// counted; f and !f share all their nodes).
+  std::size_t dag_size(const std::vector<Edge>& roots) const;
 
   // ---- memory ------------------------------------------------------------
   void garbage_collect();
@@ -188,10 +260,13 @@ class Manager {
   const ManagerStats& stats() const { return stats_; }
   /// Total nodes currently held by the unique subtables (live + dead).
   std::size_t unique_table_size() const;
+  /// Current computed-table capacity in entries (grows with the node count).
+  std::size_t cache_size() const { return cache_.size(); }
   /// Publishes this manager's lifetime stats (live/peak nodes, unique-table
-  /// size, GC runs, computed-cache hit rate, reorder swaps) as observability
-  /// gauges under `<prefix>.*` — the flow calls this at report flush points
-  /// so the counters in ManagerStats finally surface (see docs/OBSERVABILITY.md).
+  /// size, GC runs, computed-cache size and hit rate, reorder swaps) as
+  /// observability gauges under `<prefix>.*` — the flow calls this at report
+  /// flush points so the counters in ManagerStats finally surface (see
+  /// docs/OBSERVABILITY.md).
   void publish_stats(const char* prefix = "bdd") const;
 
   // ---- reordering (reorder.cpp) -------------------------------------------
@@ -210,9 +285,10 @@ class Manager {
   // ---- transfer / io (io.cpp) ---------------------------------------------
   /// Copies f from another manager into this one (matching variable indices,
   /// which must all exist here).
-  NodeId transfer_from(const Manager& src, NodeId f);
-  /// Graphviz dot dump of the DAG rooted at the given functions.
-  std::string to_dot(const std::vector<NodeId>& roots,
+  Edge transfer_from(const Manager& src, Edge f);
+  /// Graphviz dot dump of the DAG rooted at the given functions. Complement
+  /// edges are drawn with a dot-shaped arrowhead.
+  std::string to_dot(const std::vector<Edge>& roots,
                      const std::vector<std::string>& names = {}) const;
 
  private:
@@ -220,22 +296,22 @@ class Manager {
 
   struct Node {
     std::uint32_t var;
-    NodeId lo;
-    NodeId hi;
-    NodeId next;        // unique-table chain
+    Edge lo;            // else-edge, may be complemented
+    Edge hi;            // then-edge, always regular (canonical form)
+    NodeIndex next;     // unique-table chain
     std::uint32_t ref;  // parents + external handles; saturates at max
-  };
-
-  struct Subtable {
-    std::vector<NodeId> buckets;
-    std::size_t count = 0;
   };
 
   // Cache entry; op tags below.
   struct CacheEntry {
     std::uint64_t key = ~0ULL;  // packed (op, f)
     std::uint64_t key2 = 0;     // packed (g, h)
-    NodeId result = kInvalid;
+    Edge result = kInvalid;
+  };
+
+  struct Subtable {
+    std::vector<NodeIndex> buckets;
+    std::size_t count = 0;
   };
 
   enum Op : std::uint32_t {
@@ -249,38 +325,60 @@ class Manager {
     kOpRestrict,
   };
 
-  NodeId allocate_node(std::uint32_t var, NodeId lo, NodeId hi);
+  /// Marks a public operation in flight: reactive GC stays off until the
+  /// outermost operation returns (intermediates have reference count zero).
+  struct OpScope {
+    explicit OpScope(Manager& m) : m_(m) { ++m_.op_depth_; }
+    ~OpScope() { --m_.op_depth_; }
+    Manager& m_;
+  };
+
+  NodeIndex allocate_node(std::uint32_t var, Edge lo, Edge hi);
   Subtable& table_of(std::uint32_t var) { return subtables_[var]; }
-  void table_insert(Subtable& t, NodeId n);
-  void table_remove(Subtable& t, NodeId n);
+  void table_insert(Subtable& t, NodeIndex n);
+  void table_remove(Subtable& t, NodeIndex n);
   void maybe_resize(Subtable& t);
-  static std::size_t hash_triple(std::uint32_t var, NodeId lo, NodeId hi);
+  static std::size_t hash_triple(std::uint32_t var, Edge lo, Edge hi);
 
-  NodeId cache_lookup(std::uint32_t op, NodeId f, NodeId g, NodeId h);
-  void cache_insert(std::uint32_t op, NodeId f, NodeId g, NodeId h, NodeId r);
+  /// Runs GC if dead nodes dominate and no operation/reorder/pause is active;
+  /// the argument edges are pinned across the collection.
+  void maybe_auto_gc(Edge a, Edge b, Edge c = kTrue);
+  void maybe_grow_cache();
 
-  NodeId ite_rec(NodeId f, NodeId g, NodeId h);
-  NodeId xor_rec(NodeId f, NodeId g);
-  NodeId cofactor_rec(NodeId f, int var, bool value);
-  NodeId quant_var_rec(NodeId f, int var, bool existential);
-  NodeId compose_rec(NodeId f, int var, NodeId g);
-  NodeId restrict_rec(NodeId f, NodeId care);
-  NodeId permute_rec(NodeId f, const std::vector<int>& perm,
-                     std::unordered_map<NodeId, NodeId>& memo);
+  Edge cache_lookup(std::uint32_t op, Edge f, Edge g, Edge h);
+  void cache_insert(std::uint32_t op, Edge f, Edge g, Edge h, Edge r);
+
+  Edge ite_rec(Edge f, Edge g, Edge h);
+  Edge xor_rec(Edge f, Edge g);
+  Edge cofactor_rec(Edge f, int var, bool value);
+  Edge quant_var_rec(Edge f, int var, bool existential);
+  Edge compose_rec(Edge f, int var, Edge g);
+  Edge restrict_rec(Edge f, Edge care);
+  Edge permute_rec(Edge f, const std::vector<int>& perm,
+                   std::unordered_map<NodeIndex, Edge>& memo);
 
   // Reordering helpers (reorder.cpp).
   std::size_t block_width(const std::vector<int>& group) const;
 
   std::vector<Node> nodes_;
-  std::vector<NodeId> free_list_;
+  std::vector<NodeIndex> free_list_;
   std::vector<Subtable> subtables_;  // indexed by var
   std::vector<int> var_to_level_;
   std::vector<int> level_to_var_;
   std::vector<CacheEntry> cache_;
   std::size_t live_nodes_ = 0;
   std::size_t dead_nodes_ = 0;
+  int op_depth_ = 0;
+  int gc_pause_ = 0;
   bool in_reorder_ = false;
   ManagerStats stats_;
 };
 
 }  // namespace mfd::bdd
+
+template <>
+struct std::hash<mfd::bdd::Edge> {
+  std::size_t operator()(mfd::bdd::Edge e) const noexcept {
+    return std::hash<std::uint32_t>{}(e.bits());
+  }
+};

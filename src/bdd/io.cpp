@@ -6,46 +6,65 @@
 
 namespace mfd::bdd {
 
-NodeId Manager::transfer_from(const Manager& src, NodeId f) {
-  std::unordered_map<NodeId, NodeId> memo;
-  auto rec = [&](auto&& self, NodeId n) -> NodeId {
-    if (src.is_terminal(n)) return n;  // terminal ids coincide by construction
+Edge Manager::transfer_from(const Manager& src, Edge f) {
+  maybe_auto_gc(kTrue, kTrue);
+  OpScope scope(*this);
+  // Memoize per source *node*; the complement tags transfer unchanged (both
+  // managers use the same edge encoding).
+  std::unordered_map<NodeIndex, Edge> memo;
+  auto rec = [&](auto&& self, Edge e) -> Edge {
+    if (src.is_terminal(e)) return e;  // terminal edges coincide by construction
+    const bool c = e.is_complemented();
+    const NodeIndex n = e.index();
     auto it = memo.find(n);
-    if (it != memo.end()) return it->second;
-    const NodeId lo = self(self, src.node_lo(n));
-    const NodeId hi = self(self, src.node_hi(n));
+    if (it != memo.end()) return it->second ^ c;
+    const Edge lo = self(self, src.nodes_[n].lo);
+    const Edge hi = self(self, src.nodes_[n].hi);
     // The destination order may differ, so rebuild with ITE.
-    const NodeId xv = mk(static_cast<int>(src.node_var(n)), kFalse, kTrue);
-    const NodeId r = ite_rec(xv, hi, lo);
+    const Edge xv = mk(static_cast<int>(src.nodes_[n].var), kFalse, kTrue);
+    const Edge r = ite_rec(xv, hi, lo);
     memo.emplace(n, r);
-    return r;
+    return r ^ c;
   };
   return rec(rec, f);
 }
 
-std::string Manager::to_dot(const std::vector<NodeId>& roots,
+std::string Manager::to_dot(const std::vector<Edge>& roots,
                             const std::vector<std::string>& names) const {
+  // Complemented edges carry a dot-shaped arrowhead (the usual convention);
+  // else-edges are dashed. The single terminal is the ONE box.
   std::ostringstream os;
   os << "digraph bdd {\n  rankdir=TB;\n";
-  os << "  n0 [label=\"0\", shape=box];\n  n1 [label=\"1\", shape=box];\n";
-  std::unordered_map<NodeId, bool> seen;
-  std::vector<NodeId> stack;
+  os << "  n0 [label=\"1\", shape=box];\n";
+  const auto edge_attrs = [](Edge e, bool dashed) {
+    std::string attrs;
+    if (dashed) attrs = "style=dashed";
+    if (e.is_complemented()) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += "arrowhead=odot";
+    }
+    return attrs.empty() ? std::string() : " [" + attrs + "]";
+  };
+  std::unordered_map<NodeIndex, bool> seen;
+  std::vector<NodeIndex> stack;
   for (std::size_t i = 0; i < roots.size(); ++i) {
     const std::string name = i < names.size() ? names[i] : "f" + std::to_string(i);
     os << "  r" << i << " [label=\"" << name << "\", shape=plaintext];\n";
-    os << "  r" << i << " -> n" << roots[i] << ";\n";
-    stack.push_back(roots[i]);
+    os << "  r" << i << " -> n" << roots[i].index() << edge_attrs(roots[i], false)
+       << ";\n";
+    stack.push_back(roots[i].index());
   }
   while (!stack.empty()) {
-    const NodeId n = stack.back();
+    const NodeIndex n = stack.back();
     stack.pop_back();
-    if (is_terminal(n) || seen[n]) continue;
+    if (n == 0 || seen[n]) continue;
     seen[n] = true;
-    os << "  n" << n << " [label=\"x" << nodes_[n].var << "\"];\n";
-    os << "  n" << n << " -> n" << nodes_[n].lo << " [style=dashed];\n";
-    os << "  n" << n << " -> n" << nodes_[n].hi << ";\n";
-    stack.push_back(nodes_[n].lo);
-    stack.push_back(nodes_[n].hi);
+    const Node& node = nodes_[n];
+    os << "  n" << n << " [label=\"x" << node.var << "\"];\n";
+    os << "  n" << n << " -> n" << node.lo.index() << edge_attrs(node.lo, true) << ";\n";
+    os << "  n" << n << " -> n" << node.hi.index() << edge_attrs(node.hi, false) << ";\n";
+    stack.push_back(node.lo.index());
+    stack.push_back(node.hi.index());
   }
   os << "}\n";
   return os.str();

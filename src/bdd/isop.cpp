@@ -7,7 +7,7 @@ namespace {
 
 /// Recursive ISOP; returns the cover and (through `g`) its BDD, which the
 /// recursion needs to subtract already-covered minterms.
-std::vector<Cube> isop_rec(Manager& m, NodeId lower, NodeId upper, NodeId* g) {
+std::vector<Cube> isop_rec(Manager& m, Edge lower, Edge upper, Edge* g) {
   assert(m.ite(lower, kTrue, upper) == kTrue || true);  // lower <= upper
   if (lower == kFalse) {
     *g = kFalse;
@@ -22,24 +22,24 @@ std::vector<Cube> isop_rec(Manager& m, NodeId lower, NodeId upper, NodeId* g) {
   const int top = std::min(lv, uv);
   const int x = m.var_at_level(top);
 
-  const NodeId l0 = lv == top ? m.node_lo(lower) : lower;
-  const NodeId l1 = lv == top ? m.node_hi(lower) : lower;
-  const NodeId u0 = uv == top ? m.node_lo(upper) : upper;
-  const NodeId u1 = uv == top ? m.node_hi(upper) : upper;
+  const Edge l0 = lv == top ? m.node_lo(lower) : lower;
+  const Edge l1 = lv == top ? m.node_hi(lower) : lower;
+  const Edge u0 = uv == top ? m.node_lo(upper) : upper;
+  const Edge u1 = uv == top ? m.node_hi(upper) : upper;
 
   // Minterms that can only be covered with a !x (resp. x) literal.
-  const NodeId need0 = m.apply_and(l0, m.apply_not(u1));
-  NodeId g0 = kFalse;
+  const Edge need0 = m.apply_and(l0, m.apply_not(u1));
+  Edge g0 = kFalse;
   std::vector<Cube> c0 = isop_rec(m, need0, u0, &g0);
 
-  const NodeId need1 = m.apply_and(l1, m.apply_not(u0));
-  NodeId g1 = kFalse;
+  const Edge need1 = m.apply_and(l1, m.apply_not(u0));
+  Edge g1 = kFalse;
   std::vector<Cube> c1 = isop_rec(m, need1, u1, &g1);
 
   // What remains of L once the literal-bearing cubes are in.
-  const NodeId rest = m.apply_or(m.apply_and(l0, m.apply_not(g0)),
+  const Edge rest = m.apply_or(m.apply_and(l0, m.apply_not(g0)),
                                  m.apply_and(l1, m.apply_not(g1)));
-  NodeId gd = kFalse;
+  Edge gd = kFalse;
   std::vector<Cube> cd = isop_rec(m, rest, m.apply_and(u0, u1), &gd);
 
   std::vector<Cube> cover;
@@ -54,15 +54,18 @@ std::vector<Cube> isop_rec(Manager& m, NodeId lower, NodeId upper, NodeId* g) {
   }
   for (Cube& c : cd) cover.push_back(std::move(c));
 
-  const NodeId xb = m.mk(x, kFalse, kTrue);
+  const Edge xb = m.mk(x, kFalse, kTrue);
   *g = m.apply_or(m.ite(xb, g1, g0), gd);
   return cover;
 }
 
 }  // namespace
 
-std::vector<Cube> isop(Manager& m, NodeId lower, NodeId upper) {
-  NodeId g = kFalse;
+std::vector<Cube> isop(Manager& m, Edge lower, Edge upper) {
+  // The recursion keeps unreferenced intermediates (g0/g1/rest/...) alive
+  // across public operation calls: hold reactive GC off for its duration.
+  Manager::AutoGcPause pause(m);
+  Edge g = kFalse;
   std::vector<Cube> cover = isop_rec(m, lower, upper, &g);
   // The result function must lie in the interval.
   assert(m.apply_and(lower, m.apply_not(g)) == kFalse);
@@ -70,12 +73,13 @@ std::vector<Cube> isop(Manager& m, NodeId lower, NodeId upper) {
   return cover;
 }
 
-NodeId cover_to_bdd(Manager& m, const std::vector<Cube>& cover) {
-  NodeId f = kFalse;
+Edge cover_to_bdd(Manager& m, const std::vector<Cube>& cover) {
+  Manager::AutoGcPause pause(m);  // f/term accumulate unreferenced
+  Edge f = kFalse;
   for (const Cube& cube : cover) {
-    NodeId term = kTrue;
+    Edge term = kTrue;
     for (const auto& [var, phase] : cube.literals) {
-      const NodeId lit = phase ? m.mk(var, kFalse, kTrue) : m.mk(var, kTrue, kFalse);
+      const Edge lit = phase ? m.mk(var, kFalse, kTrue) : m.mk(var, kTrue, kFalse);
       term = m.apply_and(term, lit);
     }
     f = m.apply_or(f, term);

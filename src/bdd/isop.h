@@ -23,9 +23,9 @@ struct Cube {
 
 /// Minato-Morreale ISOP of the interval [lower, upper].
 /// Requires lower <= upper (as functions).
-std::vector<Cube> isop(Manager& m, NodeId lower, NodeId upper);
+std::vector<Cube> isop(Manager& m, Edge lower, Edge upper);
 
 /// BDD of a cube cover (disjunction of the cubes' conjunctions).
-NodeId cover_to_bdd(Manager& m, const std::vector<Cube>& cover);
+Edge cover_to_bdd(Manager& m, const std::vector<Cube>& cover);
 
 }  // namespace mfd::bdd

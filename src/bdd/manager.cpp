@@ -7,15 +7,19 @@
 namespace mfd::bdd {
 
 namespace {
-constexpr std::size_t kCacheSize = std::size_t{1} << 18;  // entries
+constexpr std::size_t kCacheInitSize = std::size_t{1} << 16;  // entries
+constexpr std::size_t kCacheMaxSize = std::size_t{1} << 22;
+constexpr std::size_t kAutoGcMinDead = 4096;       // dead roots, absolute floor
+constexpr std::size_t kAutoGcPopulationRatio = 32;  // sweep:free amortization cap
 constexpr std::uint32_t kRefSaturated = 0xFFFFFFFFu;
+constexpr NodeIndex kNilIndex = 0xFFFFFFFFu;  // end of a unique-table chain
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Bdd handle
 // ---------------------------------------------------------------------------
 
-Bdd::Bdd(Manager* mgr, NodeId id) : mgr_(mgr), id_(id) {
+Bdd::Bdd(Manager* mgr, Edge id) : mgr_(mgr), id_(id) {
   if (mgr_) mgr_->ref(id_);
 }
 
@@ -61,10 +65,10 @@ void Bdd::release() {
 
 Manager::Manager(int num_vars) {
   nodes_.reserve(1024);
-  // Terminal nodes occupy ids 0 and 1; immortal (saturated refs).
-  nodes_.push_back(Node{kTerminalVar, kFalse, kFalse, kInvalid, kRefSaturated});
-  nodes_.push_back(Node{kTerminalVar, kTrue, kTrue, kInvalid, kRefSaturated});
-  cache_.resize(kCacheSize);
+  // The single terminal ONE occupies index 0; immortal (saturated refs).
+  // Its lo/hi fields are never followed.
+  nodes_.push_back(Node{kTerminalVar, kTrue, kTrue, kNilIndex, kRefSaturated});
+  cache_.resize(kCacheInitSize);
   for (int i = 0; i < num_vars; ++i) add_var();
 }
 
@@ -75,7 +79,7 @@ int Manager::add_var() {
   var_to_level_.push_back(v);
   level_to_var_.push_back(v);
   Subtable t;
-  t.buckets.assign(16, kInvalid);
+  t.buckets.assign(16, kNilIndex);
   subtables_.push_back(std::move(t));
   return v;
 }
@@ -90,15 +94,15 @@ Bdd Manager::literal(int v, bool positive) {
 // Unique table
 // ---------------------------------------------------------------------------
 
-std::size_t Manager::hash_triple(std::uint32_t var, NodeId lo, NodeId hi) {
+std::size_t Manager::hash_triple(std::uint32_t var, Edge lo, Edge hi) {
   std::uint64_t h = var;
-  h = h * 0x9e3779b97f4a7c15ULL + lo;
-  h = (h ^ (h >> 29)) * 0xbf58476d1ce4e5b9ULL + hi;
+  h = h * 0x9e3779b97f4a7c15ULL + lo.bits();
+  h = (h ^ (h >> 29)) * 0xbf58476d1ce4e5b9ULL + hi.bits();
   h ^= h >> 32;
   return static_cast<std::size_t>(h);
 }
 
-void Manager::table_insert(Subtable& t, NodeId n) {
+void Manager::table_insert(Subtable& t, NodeIndex n) {
   const Node& node = nodes_[n];
   const std::size_t b = hash_triple(node.var, node.lo, node.hi) & (t.buckets.size() - 1);
   nodes_[n].next = t.buckets[b];
@@ -107,16 +111,16 @@ void Manager::table_insert(Subtable& t, NodeId n) {
   maybe_resize(t);
 }
 
-void Manager::table_remove(Subtable& t, NodeId n) {
+void Manager::table_remove(Subtable& t, NodeIndex n) {
   const Node& node = nodes_[n];
   const std::size_t b = hash_triple(node.var, node.lo, node.hi) & (t.buckets.size() - 1);
-  NodeId cur = t.buckets[b];
+  NodeIndex cur = t.buckets[b];
   if (cur == n) {
     t.buckets[b] = node.next;
   } else {
     while (nodes_[cur].next != n) {
       cur = nodes_[cur].next;
-      assert(cur != kInvalid && "node not found in its subtable");
+      assert(cur != kNilIndex && "node not found in its subtable");
     }
     nodes_[cur].next = node.next;
   }
@@ -125,11 +129,11 @@ void Manager::table_remove(Subtable& t, NodeId n) {
 
 void Manager::maybe_resize(Subtable& t) {
   if (t.count <= t.buckets.size() * 2) return;
-  std::vector<NodeId> old = std::move(t.buckets);
-  t.buckets.assign(old.size() * 4, kInvalid);
-  for (NodeId head : old) {
-    for (NodeId n = head; n != kInvalid;) {
-      const NodeId next = nodes_[n].next;
+  std::vector<NodeIndex> old = std::move(t.buckets);
+  t.buckets.assign(old.size() * 4, kNilIndex);
+  for (NodeIndex head : old) {
+    for (NodeIndex n = head; n != kNilIndex;) {
+      const NodeIndex next = nodes_[n].next;
       const std::size_t b =
           hash_triple(nodes_[n].var, nodes_[n].lo, nodes_[n].hi) & (t.buckets.size() - 1);
       nodes_[n].next = t.buckets[b];
@@ -139,36 +143,44 @@ void Manager::maybe_resize(Subtable& t) {
   }
 }
 
-NodeId Manager::allocate_node(std::uint32_t var, NodeId lo, NodeId hi) {
-  NodeId n;
+NodeIndex Manager::allocate_node(std::uint32_t var, Edge lo, Edge hi) {
+  NodeIndex n;
   if (!free_list_.empty()) {
     n = free_list_.back();
     free_list_.pop_back();
-    nodes_[n] = Node{var, lo, hi, kInvalid, 0};
+    nodes_[n] = Node{var, lo, hi, kNilIndex, 0};
   } else {
-    n = static_cast<NodeId>(nodes_.size());
-    nodes_.push_back(Node{var, lo, hi, kInvalid, 0});
+    n = static_cast<NodeIndex>(nodes_.size());
+    nodes_.push_back(Node{var, lo, hi, kNilIndex, 0});
   }
   ++live_nodes_;
   if (live_nodes_ > stats_.peak_nodes) stats_.peak_nodes = live_nodes_;
   return n;
 }
 
-NodeId Manager::mk(int var, NodeId lo, NodeId hi) {
+Edge Manager::mk(int var, Edge lo, Edge hi) {
   if (lo == hi) return lo;
   assert(node_level(lo) > var_to_level_[var] && node_level(hi) > var_to_level_[var] &&
          "children must be strictly below the node's level");
+  // Canonical form: the stored then-edge is regular. If the then-child is
+  // complemented, store the complemented node and tag the returned edge.
+  const bool out_c = hi.is_complemented();
+  if (out_c) {
+    lo = !lo;
+    hi = !hi;
+  }
+  if (op_depth_ == 0) maybe_auto_gc(lo, hi);
   Subtable& t = subtables_[var];
   const std::size_t b =
       hash_triple(static_cast<std::uint32_t>(var), lo, hi) & (t.buckets.size() - 1);
-  for (NodeId n = t.buckets[b]; n != kInvalid; n = nodes_[n].next) {
+  for (NodeIndex n = t.buckets[b]; n != kNilIndex; n = nodes_[n].next) {
     const Node& node = nodes_[n];
     if (node.lo == lo && node.hi == hi) {
       ++stats_.unique_hits;
-      return n;
+      return Edge::make(n, out_c);
     }
   }
-  const NodeId n = allocate_node(static_cast<std::uint32_t>(var), lo, hi);
+  const NodeIndex n = allocate_node(static_cast<std::uint32_t>(var), lo, hi);
   ref(lo);
   ref(hi);
   // allocate_node counted the new node as live, but it has ref 0 until a
@@ -176,15 +188,15 @@ NodeId Manager::mk(int var, NodeId lo, NodeId hi) {
   --live_nodes_;
   ++dead_nodes_;
   table_insert(t, n);
-  return n;
+  return Edge::make(n, out_c);
 }
 
 // ---------------------------------------------------------------------------
 // Reference counting and garbage collection
 // ---------------------------------------------------------------------------
 
-void Manager::ref(NodeId n) {
-  Node& node = nodes_[n];
+void Manager::ref(Edge e) {
+  Node& node = nodes_[e.index()];
   if (node.ref == kRefSaturated) return;
   if (node.ref == 0) {
     ++live_nodes_;
@@ -193,8 +205,8 @@ void Manager::ref(NodeId n) {
   ++node.ref;
 }
 
-void Manager::deref(NodeId n) {
-  Node& node = nodes_[n];
+void Manager::deref(Edge e) {
+  Node& node = nodes_[e.index()];
   if (node.ref == kRefSaturated) return;
   assert(node.ref > 0 && "deref of unreferenced node");
   --node.ref;
@@ -213,9 +225,9 @@ void Manager::garbage_collect() {
   for (int level = 0; level < num_vars(); ++level) {
     Subtable& t = subtables_[level_to_var_[level]];
     for (auto& head : t.buckets) {
-      NodeId* link = &head;
-      while (*link != kInvalid) {
-        const NodeId n = *link;
+      NodeIndex* link = &head;
+      while (*link != kNilIndex) {
+        const NodeIndex n = *link;
         Node& node = nodes_[n];
         if (node.ref == 0) {
           *link = node.next;
@@ -232,8 +244,31 @@ void Manager::garbage_collect() {
       }
     }
   }
-  // Node ids may now be recycled: drop every cached operation result.
+  // Node indices may now be recycled: drop every cached operation result.
   for (auto& e : cache_) e = CacheEntry{};
+}
+
+void Manager::maybe_auto_gc(Edge a, Edge b, Edge c) {
+  if (op_depth_ != 0 || gc_pause_ != 0 || in_reorder_) return;
+  // Derefs are deferred, so dead_nodes_ counts only the *roots* of dead
+  // subgraphs — their interiors stay nominally live until the collection
+  // cascade reaches them. Fire once the dead roots pass an absolute floor
+  // and a slice of the whole population: collection always frees at least
+  // the roots, so the O(population) sweep is amortized against them (at
+  // most ~kAutoGcPopulationRatio swept nodes per freed node).
+  if (dead_nodes_ <= kAutoGcMinDead ||
+      dead_nodes_ * kAutoGcPopulationRatio <= live_nodes_ + dead_nodes_)
+    return;
+  // Pin the immediate arguments: they may themselves be unreferenced fresh
+  // results the caller is about to combine.
+  ref(a);
+  ref(b);
+  ref(c);
+  garbage_collect();
+  deref(a);
+  deref(b);
+  deref(c);
+  ++stats_.gc_auto_runs;
 }
 
 // ---------------------------------------------------------------------------
@@ -262,7 +297,10 @@ void Manager::publish_stats(const char* prefix) const {
                      ? 0.0
                      : static_cast<double>(stats_.cache_hits) /
                            static_cast<double>(stats_.cache_lookups));
+  obs::gauge_set(p + ".cache_size", static_cast<double>(cache_.size()));
+  obs::gauge_set(p + ".cache_resizes", static_cast<double>(stats_.cache_resizes));
   obs::gauge_set(p + ".gc_runs", static_cast<double>(stats_.gc_runs));
+  obs::gauge_set(p + ".gc_auto_runs", static_cast<double>(stats_.gc_auto_runs));
   obs::gauge_set(p + ".reorder_swaps", static_cast<double>(stats_.reorder_swaps));
 }
 
@@ -270,13 +308,23 @@ void Manager::publish_stats(const char* prefix) const {
 // Computed table
 // ---------------------------------------------------------------------------
 
-NodeId Manager::cache_lookup(std::uint32_t op, NodeId f, NodeId g, NodeId h) {
+void Manager::maybe_grow_cache() {
+  if (cache_.size() >= kCacheMaxSize || live_nodes_ * 2 <= cache_.size()) return;
+  // Lossy by design: growing discards the current entries (a resize cannot
+  // rehash a direct-mapped table in place, and memo loss only costs time).
+  std::size_t next = cache_.size();
+  while (next < kCacheMaxSize && live_nodes_ * 2 > next) next *= 2;
+  cache_.assign(next, CacheEntry{});
+  ++stats_.cache_resizes;
+}
+
+Edge Manager::cache_lookup(std::uint32_t op, Edge f, Edge g, Edge h) {
   ++stats_.cache_lookups;
-  const std::uint64_t k1 = (static_cast<std::uint64_t>(op) << 32) | f;
-  const std::uint64_t k2 = (static_cast<std::uint64_t>(g) << 32) | h;
+  const std::uint64_t k1 = (static_cast<std::uint64_t>(op) << 32) | f.bits();
+  const std::uint64_t k2 = (static_cast<std::uint64_t>(g.bits()) << 32) | h.bits();
   std::uint64_t idx = k1 * 0x9e3779b97f4a7c15ULL ^ k2 * 0xc2b2ae3d27d4eb4fULL;
   idx ^= idx >> 29;
-  const CacheEntry& e = cache_[idx & (kCacheSize - 1)];
+  const CacheEntry& e = cache_[idx & (cache_.size() - 1)];
   if (e.key == k1 && e.key2 == k2) {
     ++stats_.cache_hits;
     return e.result;
@@ -284,12 +332,13 @@ NodeId Manager::cache_lookup(std::uint32_t op, NodeId f, NodeId g, NodeId h) {
   return kInvalid;
 }
 
-void Manager::cache_insert(std::uint32_t op, NodeId f, NodeId g, NodeId h, NodeId r) {
-  const std::uint64_t k1 = (static_cast<std::uint64_t>(op) << 32) | f;
-  const std::uint64_t k2 = (static_cast<std::uint64_t>(g) << 32) | h;
+void Manager::cache_insert(std::uint32_t op, Edge f, Edge g, Edge h, Edge r) {
+  maybe_grow_cache();
+  const std::uint64_t k1 = (static_cast<std::uint64_t>(op) << 32) | f.bits();
+  const std::uint64_t k2 = (static_cast<std::uint64_t>(g.bits()) << 32) | h.bits();
   std::uint64_t idx = k1 * 0x9e3779b97f4a7c15ULL ^ k2 * 0xc2b2ae3d27d4eb4fULL;
   idx ^= idx >> 29;
-  cache_[idx & (kCacheSize - 1)] = CacheEntry{k1, k2, r};
+  cache_[idx & (cache_.size() - 1)] = CacheEntry{k1, k2, r};
 }
 
 }  // namespace mfd::bdd

@@ -3,9 +3,14 @@
 // The primitive is the classic in-place adjacent-level swap: every node of
 // the upper variable that depends on the lower one is rewritten in place to
 // carry the lower variable, so parent edges stay valid and node identity
-// keeps meaning "this function". Sifting (Rudell) and symmetric/group
-// sifting [12,15] are built on top of a block-transposition layer: plain
-// sifting is group sifting with singleton blocks.
+// keeps meaning "this function". With complement edges the four cofactors
+// are read through the stored edges' tags (the else-edge may be
+// complemented); the rewritten then-edge comes out regular automatically,
+// because the (v1=1)-cofactor fed to `mk` is itself a stored then-edge and
+// therefore regular — so the swap preserves the canonical form without a
+// normalization pass. Sifting (Rudell) and symmetric/group sifting [12,15]
+// are built on top of a block-transposition layer: plain sifting is group
+// sifting with singleton blocks.
 #include <algorithm>
 #include <cassert>
 #include <numeric>
@@ -22,20 +27,22 @@ void Manager::swap_adjacent_levels(int level) {
   in_reorder_ = true;
   const int v0 = level_to_var_[level];
   const int v1 = level_to_var_[level + 1];
+  constexpr NodeIndex kNil = 0xFFFFFFFFu;
 
   // Nodes of v0 whose function depends on v1 must be rewritten; the others
   // simply sink one level, which requires no structural change.
   Subtable& t0 = subtables_[v0];
-  std::vector<NodeId> dependent;
-  for (NodeId head : t0.buckets) {
-    for (NodeId n = head; n != kInvalid; n = nodes_[n].next) {
-      const NodeId lo = nodes_[n].lo, hi = nodes_[n].hi;
-      const bool dep = (!is_terminal(lo) && nodes_[lo].var == static_cast<std::uint32_t>(v1)) ||
-                       (!is_terminal(hi) && nodes_[hi].var == static_cast<std::uint32_t>(v1));
+  std::vector<NodeIndex> dependent;
+  for (NodeIndex head : t0.buckets) {
+    for (NodeIndex n = head; n != kNil; n = nodes_[n].next) {
+      const Edge lo = nodes_[n].lo, hi = nodes_[n].hi;
+      const bool dep =
+          (!is_terminal(lo) && nodes_[lo.index()].var == static_cast<std::uint32_t>(v1)) ||
+          (!is_terminal(hi) && nodes_[hi.index()].var == static_cast<std::uint32_t>(v1));
       if (dep) dependent.push_back(n);
     }
   }
-  for (NodeId n : dependent) table_remove(t0, n);
+  for (NodeIndex n : dependent) table_remove(t0, n);
 
   // Update the order before creating nodes so mk()'s level invariant holds.
   level_to_var_[level] = v1;
@@ -43,19 +50,26 @@ void Manager::swap_adjacent_levels(int level) {
   var_to_level_[v0] = level + 1;
   var_to_level_[v1] = level;
 
-  for (NodeId n : dependent) {
-    const NodeId lo = nodes_[n].lo, hi = nodes_[n].hi;
-    const bool lo_dep = !is_terminal(lo) && nodes_[lo].var == static_cast<std::uint32_t>(v1);
-    const bool hi_dep = !is_terminal(hi) && nodes_[hi].var == static_cast<std::uint32_t>(v1);
-    const NodeId f00 = lo_dep ? nodes_[lo].lo : lo;  // f | v0=0, v1=0
-    const NodeId f01 = lo_dep ? nodes_[lo].hi : lo;  // f | v0=0, v1=1
-    const NodeId f10 = hi_dep ? nodes_[hi].lo : hi;  // f | v0=1, v1=0
-    const NodeId f11 = hi_dep ? nodes_[hi].hi : hi;  // f | v0=1, v1=1
+  for (NodeIndex n : dependent) {
+    const Edge lo = nodes_[n].lo, hi = nodes_[n].hi;
+    const bool lo_dep =
+        !is_terminal(lo) && nodes_[lo.index()].var == static_cast<std::uint32_t>(v1);
+    const bool hi_dep =
+        !is_terminal(hi) && nodes_[hi.index()].var == static_cast<std::uint32_t>(v1);
+    // Cofactors of the node's (regular) function; the else-edge's complement
+    // tag distributes onto its children, the then-edge is regular.
+    const Edge f00 = lo_dep ? node_lo(lo) : lo;  // f | v0=0, v1=0
+    const Edge f01 = lo_dep ? node_hi(lo) : lo;  // f | v0=0, v1=1
+    const Edge f10 = hi_dep ? node_lo(hi) : hi;  // f | v0=1, v1=0
+    const Edge f11 = hi_dep ? node_hi(hi) : hi;  // f | v0=1, v1=1
 
-    const NodeId a = mk(v0, f00, f10);  // f | v1=0
-    const NodeId b = mk(v0, f01, f11);  // f | v1=1
+    const Edge a = mk(v0, f00, f10);  // f | v1=0
+    const Edge b = mk(v0, f01, f11);  // f | v1=1
     // A dependent node cannot collapse: a == b would mean f ignores v1.
     assert(a != b);
+    // f11 is a then-cofactor and thus regular, so mk never complements b and
+    // the rewritten node keeps the then-regular invariant.
+    assert(!b.is_complemented());
     ref(a);
     ref(b);
     deref(lo);

@@ -21,7 +21,7 @@ int quick_class_count(const CofactorTable& table, std::uint64_t seed) {
       break;
     }
   if (complete) {
-    std::vector<bdd::NodeId> ids;
+    std::vector<bdd::Edge> ids;
     ids.reserve(table.entries.size());
     for (const Isf& e : table.entries) ids.push_back(e.on().id());
     std::sort(ids.begin(), ids.end());
@@ -29,7 +29,7 @@ int quick_class_count(const CofactorTable& table, std::uint64_t seed) {
     return static_cast<int>(ids.size());
   }
   // Dedupe by (on, care) identity first.
-  std::vector<std::pair<bdd::NodeId, bdd::NodeId>> keys;
+  std::vector<std::pair<bdd::Edge, bdd::Edge>> keys;
   keys.reserve(table.entries.size());
   std::vector<int> rep;
   std::vector<int> rep_vertex;
@@ -98,9 +98,9 @@ BoundSetChoice evaluate_bound_set(const std::vector<Isf>& fns,
     // Sharing potential: joint class count vs sum of individual code
     // lengths. A cheap equality-based joint count (no coloring) suffices to
     // rank candidates.
-    std::map<std::vector<std::pair<bdd::NodeId, bdd::NodeId>>, int> joint;
+    std::map<std::vector<std::pair<bdd::Edge, bdd::Edge>>, int> joint;
     for (std::size_t v = 0; v < tables.front().entries.size(); ++v) {
-      std::vector<std::pair<bdd::NodeId, bdd::NodeId>> key;
+      std::vector<std::pair<bdd::Edge, bdd::Edge>> key;
       for (const CofactorTable& t : tables)
         key.emplace_back(t.entries[v].on().id(), t.entries[v].care().id());
       joint.emplace(std::move(key), 0);

@@ -29,9 +29,12 @@ CofactorTable cofactor_table(const Isf& f, const std::vector<int>& bound) {
 
 bool vertices_compatible(const Isf& a, const Isf& b) { return a.compatible_with(b); }
 
-int ncc_complete(bdd::Manager& m, bdd::NodeId f, const std::vector<int>& bound) {
+int ncc_complete(bdd::Manager& m, bdd::Edge f, const std::vector<int>& bound) {
   const int p = static_cast<int>(bound.size());
-  std::map<bdd::NodeId, int> distinct;
+  // The map keys are unreferenced cofactor results that must stay distinct
+  // edges until the loop ends: hold reactive GC off.
+  bdd::Manager::AutoGcPause pause(m);
+  std::map<bdd::Edge, int> distinct;
   std::vector<std::pair<int, bool>> assignment(bound.size());
   for (std::uint32_t v = 0; v < (std::uint32_t{1} << p); ++v) {
     for (int k = 0; k < p; ++k) assignment[static_cast<std::size_t>(k)] = {bound[static_cast<std::size_t>(k)], (v >> k) & 1};
@@ -70,7 +73,7 @@ Graph joint_incompatibility_graph(const std::vector<CofactorTable>& tables) {
 }
 
 std::vector<int> partition_by_equality(const CofactorTable& table) {
-  std::map<std::pair<bdd::NodeId, bdd::NodeId>, int> classes;
+  std::map<std::pair<bdd::Edge, bdd::Edge>, int> classes;
   std::vector<int> result;
   result.reserve(table.entries.size());
   for (const Isf& e : table.entries) {

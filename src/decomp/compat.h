@@ -34,7 +34,7 @@ bool vertices_compatible(const Isf& a, const Isf& b);
 
 /// Number of compatible classes of a *completely specified* function
 /// (distinct cofactors) — the classic ncc(f, B).
-int ncc_complete(bdd::Manager& m, bdd::NodeId f, const std::vector<int>& bound);
+int ncc_complete(bdd::Manager& m, bdd::Edge f, const std::vector<int>& bound);
 
 /// Incompatibility graph over the 2^p vertices of one output.
 Graph incompatibility_graph(const CofactorTable& table);

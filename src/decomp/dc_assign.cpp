@@ -19,11 +19,11 @@ struct Reduced {
 
 Reduced reduce_identical(const std::vector<const CofactorTable*>& tables) {
   Reduced r;
-  std::map<std::vector<std::pair<bdd::NodeId, bdd::NodeId>>, int> ids;
+  std::map<std::vector<std::pair<bdd::Edge, bdd::Edge>>, int> ids;
   const std::size_t n = tables.front()->entries.size();
   r.rep_of_vertex.resize(n);
   for (std::size_t v = 0; v < n; ++v) {
-    std::vector<std::pair<bdd::NodeId, bdd::NodeId>> key;
+    std::vector<std::pair<bdd::Edge, bdd::Edge>> key;
     key.reserve(tables.size());
     for (const CofactorTable* t : tables)
       key.emplace_back(t->entries[v].on().id(), t->entries[v].care().id());

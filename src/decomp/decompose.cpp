@@ -42,7 +42,7 @@ struct Ctx {
 /// fit the fanin bound). Returns the driving signal.
 int emit_small(Ctx& c, const bdd::Bdd& ext) {
   bdd::Manager& m = c.m;
-  const bdd::NodeId g = ext.id();
+  const bdd::Edge g = ext.id();
   const std::vector<int> supp = m.support(g);
   if (supp.empty()) return g == bdd::kTrue ? net::kConst1 : net::kConst0;
 
@@ -176,12 +176,12 @@ std::vector<int> seed_order(const std::vector<Isf>& fns,
 int emit_bdd_muxes(Ctx& c, const Isf& f) {
   bdd::Manager& m = c.m;
   const bdd::Bdd ext = f.extension_small();
-  const bdd::NodeId root = ext.id();
-  std::unordered_map<bdd::NodeId, int> signal;
+  const bdd::Edge root = ext.id();
+  std::unordered_map<bdd::Edge, int> signal;
   signal.emplace(bdd::kFalse, net::kConst0);
   signal.emplace(bdd::kTrue, net::kConst1);
 
-  auto rec = [&](auto&& self, bdd::NodeId n) -> int {
+  auto rec = [&](auto&& self, bdd::Edge n) -> int {
     const auto it = signal.find(n);
     if (it != signal.end()) return it->second;
     const int lo = self(self, m.node_lo(n));
@@ -447,10 +447,10 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
     // identical cofactors across all outputs share a class; the shared code
     // of that partition is trivially strict for every output.
     if (c.opts.exploit_dc && c.opts.dc_per_output) assign_per_output(tables, c.opts.seed);
-    std::map<std::vector<std::pair<bdd::NodeId, bdd::NodeId>>, int> classes;
+    std::map<std::vector<std::pair<bdd::Edge, bdd::Edge>>, int> classes;
     std::vector<int> joint(tables.front().entries.size());
     for (std::size_t v = 0; v < joint.size(); ++v) {
-      std::vector<std::pair<bdd::NodeId, bdd::NodeId>> key;
+      std::vector<std::pair<bdd::Edge, bdd::Edge>> key;
       key.reserve(tables.size());
       for (const CofactorTable& t : tables)
         key.emplace_back(t.entries[v].on().id(), t.entries[v].care().id());

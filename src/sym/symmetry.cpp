@@ -7,7 +7,7 @@ namespace {
 
 using bdd::Bdd;
 using bdd::Manager;
-using bdd::NodeId;
+using bdd::Edge;
 
 /// The two cofactor patterns whose equality defines the symmetry.
 struct SlotPair {
@@ -20,13 +20,16 @@ SlotPair slots(SymmetryKind kind) {
   return {false, false, true, true};
 }
 
-NodeId cof2(Manager& m, NodeId f, int va, bool a, int vb, bool b) {
+Edge cof2(Manager& m, Edge f, int va, bool a, int vb, bool b) {
   return m.cofactor(m.cofactor(f, va, a), vb, b);
 }
 
 }  // namespace
 
-bool is_symmetric(Manager& m, NodeId f, int var_a, int var_b, SymmetryKind kind) {
+bool is_symmetric(Manager& m, Edge f, int var_a, int var_b, SymmetryKind kind) {
+  // Both cofactor chains produce unreferenced results that must survive the
+  // other chain's operations: keep reactive GC off.
+  Manager::AutoGcPause pause(m);
   const SlotPair s = slots(kind);
   return cof2(m, f, var_a, s.a_first, var_b, s.b_first) ==
          cof2(m, f, var_a, s.a_second, var_b, s.b_second);
@@ -40,14 +43,15 @@ bool isf_is_symmetric(const Isf& f, int var_a, int var_b, SymmetryKind kind) {
 
 bool symmetrizable(const Isf& f, int var_a, int var_b, SymmetryKind kind) {
   Manager& m = *f.manager();
+  Manager::AutoGcPause pause(m);  // on1..ca2 stay unreferenced across ops
   const SlotPair s = slots(kind);
-  const NodeId on1 = cof2(m, f.on().id(), var_a, s.a_first, var_b, s.b_first);
-  const NodeId on2 = cof2(m, f.on().id(), var_a, s.a_second, var_b, s.b_second);
-  const NodeId ca1 = cof2(m, f.care().id(), var_a, s.a_first, var_b, s.b_first);
-  const NodeId ca2 = cof2(m, f.care().id(), var_a, s.a_second, var_b, s.b_second);
+  const Edge on1 = cof2(m, f.on().id(), var_a, s.a_first, var_b, s.b_first);
+  const Edge on2 = cof2(m, f.on().id(), var_a, s.a_second, var_b, s.b_second);
+  const Edge ca1 = cof2(m, f.care().id(), var_a, s.a_first, var_b, s.b_first);
+  const Edge ca2 = cof2(m, f.care().id(), var_a, s.a_second, var_b, s.b_second);
   // Conflict: a point both slots care about, with different values.
-  const NodeId diff = m.apply_xor(on1, on2);
-  const NodeId conflict = m.apply_and(diff, m.apply_and(ca1, ca2));
+  const Edge diff = m.apply_xor(on1, on2);
+  const Edge conflict = m.apply_and(diff, m.apply_and(ca1, ca2));
   return conflict == bdd::kFalse;
 }
 
@@ -117,11 +121,11 @@ std::vector<std::vector<int>> symmetry_groups(const std::vector<Isf>& fns,
 }
 
 std::vector<std::vector<int>> symmetry_groups(Manager& m,
-                                              const std::vector<NodeId>& fns,
+                                              const std::vector<Edge>& fns,
                                               const std::vector<int>& vars) {
   std::vector<Isf> isfs;
   isfs.reserve(fns.size());
-  for (NodeId f : fns) isfs.push_back(Isf::completely_specified(m.wrap(f)));
+  for (Edge f : fns) isfs.push_back(Isf::completely_specified(m.wrap(f)));
   return symmetry_groups(isfs, vars);
 }
 

@@ -23,7 +23,7 @@ enum class SymmetryKind { kNonequivalence, kEquivalence };
 
 /// True iff the completely specified function `f` is NE/E-symmetric in
 /// (var_a, var_b).
-bool is_symmetric(bdd::Manager& m, bdd::NodeId f, int var_a, int var_b,
+bool is_symmetric(bdd::Manager& m, bdd::Edge f, int var_a, int var_b,
                   SymmetryKind kind);
 
 /// True iff the ISF is symmetric *as a specification*: both the on-set and
@@ -49,7 +49,7 @@ std::vector<std::vector<int>> symmetry_groups(const std::vector<Isf>& fns,
 
 /// Convenience overload for completely specified functions.
 std::vector<std::vector<int>> symmetry_groups(bdd::Manager& m,
-                                              const std::vector<bdd::NodeId>& fns,
+                                              const std::vector<bdd::Edge>& fns,
                                               const std::vector<int>& vars);
 
 }  // namespace mfd

@@ -5,7 +5,10 @@
 // across GC, in-place swap vs. live handles, id recycling).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <map>
+#include <numeric>
 
 #include "bdd/bdd.h"
 #include "testlib.h"
@@ -155,10 +158,10 @@ TEST_P(BddSoak, LongMixedSequenceMatchesInterpreter) {
   for (std::size_t i = 0; i < fns.size(); ++i)
     EXPECT_EQ(test::table_from_bdd(m, fns[i].id(), n), tables[i]) << "function " << i;
   // And the manager's bookkeeping survived: after GC, the live nodes are
-  // exactly the referenced closure (dag_size additionally counts the one or
-  // two reachable terminals, which are not "live" allocations).
+  // exactly the referenced closure (dag_size additionally counts the shared
+  // terminal, which is not a "live" allocation).
   m.garbage_collect();
-  std::vector<bdd::NodeId> roots;
+  std::vector<bdd::Edge> roots;
   for (const Bdd& f : fns) roots.push_back(f.id());
   const std::size_t closure = m.dag_size(roots);
   const std::size_t live = m.live_node_count();
@@ -208,6 +211,280 @@ TEST(BddSoak, QuantifierIdentities) {
     EXPECT_EQ(m.exists((f | g).id(), {v}),
               (m.wrap(m.exists(f.id(), {v})) | m.wrap(m.exists(g.id(), {v}))).id());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Full-surface differential stress: every public operation — including O(1)
+// negation, reordering, and inter-manager transfer — mirrored against the
+// truth-table interpreter, on up to 10 variables. Complement edges touch
+// every code path, so this is the canonicity gauntlet for the tagged-edge
+// representation.
+// ---------------------------------------------------------------------------
+
+Table table_quant(const Table& a, int v, bool existential) {
+  Table r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool lo = a[i & ~(std::size_t{1} << v)];
+    const bool hi = a[i | (std::size_t{1} << v)];
+    r[i] = existential ? (lo || hi) : (lo && hi);
+  }
+  return r;
+}
+
+Table table_permute(const Table& a, const std::vector<int>& perm, int n) {
+  // g = permute(f, perm) renames var i of f to perm[i]:
+  // g(y) = f(x) with x_i = y_perm[i].
+  Table r(a.size());
+  for (std::size_t j = 0; j < r.size(); ++j) {
+    std::size_t i = 0;
+    for (int v = 0; v < n; ++v)
+      if ((j >> perm[static_cast<std::size_t>(v)]) & 1) i |= std::size_t{1} << v;
+    r[j] = a[i];
+  }
+  return r;
+}
+
+std::size_t table_count(const Table& a) {
+  std::size_t c = 0;
+  for (const bool b : a) c += b ? 1 : 0;
+  return c;
+}
+
+class BddDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddDifferential, EveryPublicOpMatchesInterpreter) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const int n = rng.range(5, 10);
+  Manager m(n);
+
+  std::vector<Bdd> fns;
+  std::vector<Table> tables;
+  for (int v = 0; v < n; ++v) {
+    fns.push_back(m.var(v));
+    Table t(std::size_t{1} << n);
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] = (i >> v) & 1;
+    tables.push_back(std::move(t));
+  }
+  auto push = [&](Bdd f, Table t) {
+    fns.push_back(std::move(f));
+    tables.push_back(std::move(t));
+  };
+
+  const int steps = 250;
+  for (int step = 0; step < steps; ++step) {
+    const std::size_t count = fns.size();
+    auto pick = [&]() { return rng.below(count); };
+    switch (rng.below(14)) {
+      case 0: {  // and / or
+        const auto a = pick(), b = pick();
+        if (rng.flip())
+          push(fns[a] & fns[b], table_and(tables[a], tables[b]));
+        else
+          push(fns[a] | fns[b], table_or(tables[a], tables[b]));
+        break;
+      }
+      case 1: {  // xor
+        const auto a = pick(), b = pick();
+        push(fns[a] ^ fns[b], table_xor(tables[a], tables[b]));
+        break;
+      }
+      case 2: {  // negation: O(1), allocation-free, node-sharing
+        const auto a = pick();
+        const std::size_t live_before = m.live_node_count();
+        Bdd g = !fns[a];
+        EXPECT_EQ(m.live_node_count(), live_before) << "apply_not allocated";
+        EXPECT_EQ(g.id(), !fns[a].id());
+        EXPECT_EQ(m.dag_size({fns[a].id(), g.id()}), m.dag_size(fns[a].id()))
+            << "f and !f must share every node";
+        push(std::move(g), table_not(tables[a]));
+        break;
+      }
+      case 3: {  // ite
+        const auto a = pick(), b = pick(), c = pick();
+        push(m.wrap(m.ite(fns[a].id(), fns[b].id(), fns[c].id())),
+             table_ite(tables[a], tables[b], tables[c]));
+        break;
+      }
+      case 4: {  // cofactor / cofactor_cube
+        const auto a = pick();
+        if (rng.flip()) {
+          const int v = rng.range(0, n - 1);
+          const bool val = rng.flip();
+          push(fns[a].cofactor(v, val), table_cof(tables[a], v, val, n));
+        } else {
+          std::vector<std::pair<int, bool>> cube;
+          Table t = tables[a];
+          for (int v = 0; v < n; ++v)
+            if (rng.chance(1, 4)) {
+              const bool val = rng.flip();
+              cube.emplace_back(v, val);
+              t = table_cof(t, v, val, n);
+            }
+          push(m.wrap(m.cofactor_cube(fns[a].id(), cube)), std::move(t));
+        }
+        break;
+      }
+      case 5: {  // compose
+        const auto a = pick(), b = pick();
+        const int v = rng.range(0, n - 1);
+        push(m.wrap(m.compose(fns[a].id(), v, fns[b].id())),
+             table_compose(tables[a], v, tables[b]));
+        break;
+      }
+      case 6: {  // exists / forall over one or two variables
+        const auto a = pick();
+        const bool ex = rng.flip();
+        std::vector<int> vars{rng.range(0, n - 1)};
+        if (rng.flip()) vars.push_back(rng.range(0, n - 1));
+        Table t = tables[a];
+        for (std::size_t k = 0; k < vars.size(); ++k) {
+          // Quantifying the same variable twice is idempotent, matching the
+          // manager's one-variable-at-a-time loop.
+          t = table_quant(t, vars[k], ex);
+        }
+        push(m.wrap(ex ? m.exists(fns[a].id(), vars) : m.forall(fns[a].id(), vars)),
+             std::move(t));
+        break;
+      }
+      case 7: {  // restrict: r must agree with f on the care set
+        const auto a = pick(), c = pick();
+        if (fns[c].is_false()) break;
+        const Bdd r = m.wrap(m.restrict_to(fns[a].id(), fns[c].id()));
+        const Table rt = test::table_from_bdd(m, r.id(), n);
+        for (std::size_t i = 0; i < rt.size(); ++i)
+          ASSERT_EQ(rt[i] && tables[c][i], tables[a][i] && tables[c][i])
+              << "restrict left the interval at minterm " << i;
+        push(r, rt);  // exact table: don't-care points are pinned now
+        break;
+      }
+      case 8: {  // permute / swap_vars
+        const auto a = pick();
+        if (rng.flip()) {
+          std::vector<int> perm(static_cast<std::size_t>(n));
+          std::iota(perm.begin(), perm.end(), 0);
+          for (int v = n - 1; v > 0; --v)
+            std::swap(perm[static_cast<std::size_t>(v)], perm[rng.below(static_cast<std::size_t>(v) + 1)]);
+          push(m.wrap(m.permute(fns[a].id(), perm)), table_permute(tables[a], perm, n));
+        } else {
+          const int va = rng.range(0, n - 1), vb = rng.range(0, n - 1);
+          std::vector<int> perm(static_cast<std::size_t>(n));
+          std::iota(perm.begin(), perm.end(), 0);
+          perm[static_cast<std::size_t>(va)] = vb;
+          perm[static_cast<std::size_t>(vb)] = va;
+          push(m.wrap(m.swap_vars(fns[a].id(), va, vb)),
+               table_permute(tables[a], perm, n));
+        }
+        break;
+      }
+      case 9: {  // queries: eval, sat_count, support, pick_one
+        const auto a = pick();
+        for (int trial = 0; trial < 4; ++trial) {
+          std::size_t idx = 0;
+          std::vector<bool> assignment(static_cast<std::size_t>(n));
+          for (int v = 0; v < n; ++v) {
+            assignment[static_cast<std::size_t>(v)] = rng.flip();
+            if (assignment[static_cast<std::size_t>(v)]) idx |= std::size_t{1} << v;
+          }
+          ASSERT_EQ(m.eval(fns[a].id(), assignment), tables[a][idx]);
+        }
+        ASSERT_EQ(m.sat_count(fns[a].id(), n),
+                  static_cast<double>(table_count(tables[a])));
+        const std::vector<int> supp = m.support(fns[a].id());
+        for (int v = 0; v < n; ++v) {
+          bool depends = false;
+          for (std::size_t i = 0; i < tables[a].size() && !depends; ++i)
+            depends = tables[a][i] != tables[a][i ^ (std::size_t{1} << v)];
+          ASSERT_EQ(std::binary_search(supp.begin(), supp.end(), v), depends)
+              << "support mismatch on x" << v;
+        }
+        if (!fns[a].is_false()) {
+          const std::vector<bool> sat = m.pick_one(fns[a].id());
+          std::size_t idx = 0;
+          for (int v = 0; v < n; ++v)
+            if (sat[static_cast<std::size_t>(v)]) idx |= std::size_t{1} << v;
+          ASSERT_TRUE(tables[a][idx]) << "pick_one returned a non-minterm";
+        }
+        break;
+      }
+      case 10: {  // drop handles, GC
+        for (int d = 0; d < 6 && fns.size() > static_cast<std::size_t>(n) + 2; ++d) {
+          const std::size_t victim =
+              static_cast<std::size_t>(n) + rng.below(fns.size() - static_cast<std::size_t>(n));
+          fns.erase(fns.begin() + static_cast<std::ptrdiff_t>(victim));
+          tables.erase(tables.begin() + static_cast<std::ptrdiff_t>(victim));
+        }
+        if (rng.flip()) m.garbage_collect();
+        break;
+      }
+      case 11: {  // adjacent swaps
+        for (int s = 0; s < 4; ++s) m.swap_adjacent_levels(rng.range(0, n - 2));
+        break;
+      }
+      case 12: {  // set_order to a random permutation / sift
+        if (step % 5 == 0) {
+          std::vector<int> order(static_cast<std::size_t>(n));
+          std::iota(order.begin(), order.end(), 0);
+          for (int v = n - 1; v > 0; --v)
+            std::swap(order[static_cast<std::size_t>(v)], order[rng.below(static_cast<std::size_t>(v) + 1)]);
+          m.set_order(order);
+        } else if (step % 7 == 0) {
+          m.sift();
+        }
+        break;
+      }
+      case 13: {  // transfer round-trip through a second manager
+        if (step % 4 != 0) break;
+        const auto a = pick();
+        Manager dst(n);
+        std::vector<int> order(static_cast<std::size_t>(n));
+        std::iota(order.begin(), order.end(), 0);
+        for (int v = n - 1; v > 0; --v)
+          std::swap(order[static_cast<std::size_t>(v)], order[rng.below(static_cast<std::size_t>(v) + 1)]);
+        dst.set_order(order);
+        const Bdd moved = dst.wrap(dst.transfer_from(m, fns[a].id()));
+        ASSERT_EQ(test::table_from_bdd(dst, moved.id(), n), tables[a]);
+        push(m.wrap(m.transfer_from(dst, moved.id())), tables[a]);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < fns.size(); ++i)
+    EXPECT_EQ(test::table_from_bdd(m, fns[i].id(), n), tables[i]) << "function " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddDifferential, ::testing::Range(0, 8));
+
+TEST(BddComplementEdges, ReactiveGcFiresUnderChurn) {
+  // Build and drop large disjunctions without ever calling garbage_collect:
+  // once the dead population passes the threshold, mk/op entry must reclaim.
+  Manager m(16);
+  Rng rng(99);
+  for (int round = 0; round < 40; ++round) {
+    Bdd acc = m.bdd_false();
+    for (int c = 0; c < 120; ++c) {
+      Bdd cube = m.bdd_true();
+      for (int v = 0; v < 16; ++v)
+        if (rng.chance(1, 3)) cube &= m.literal(v, rng.flip());
+      acc |= cube;
+    }
+    // acc and its intermediates die here.
+  }
+  EXPECT_GT(m.stats().gc_auto_runs, 0u) << "reactive GC never fired";
+  // Reactive GC must not have corrupted anything a full check would catch.
+  const Bdd probe = m.var(3) ^ m.var(7);
+  EXPECT_EQ(m.sat_count(probe.id(), 16), std::ldexp(1.0, 15));
+}
+
+TEST(BddPreconditionsDeathTest, RestrictWithFalseCareAbortsLoudly) {
+  Manager m(3);
+  const Bdd f = m.var(0);
+  EXPECT_DEATH((void)m.restrict_to(f.id(), bdd::kFalse), "care set is constant false");
+}
+
+TEST(BddPreconditionsDeathTest, PickOneOnFalseAbortsLoudly) {
+  Manager m(3);
+  EXPECT_DEATH((void)m.pick_one(bdd::kFalse), "constant false");
 }
 
 TEST(BddSoak, TransferUnderHeavyReordering) {

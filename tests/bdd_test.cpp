@@ -222,7 +222,7 @@ TEST(BddExhaustive, AllTwoVarIteTriples) {
     for (int i = 0; i < 4; ++i) t[static_cast<std::size_t>(i)] = (tt >> i) & 1;
     fns.push_back(test::bdd_from_table(m, t, 2));
   }
-  auto tt_of = [&](bdd::NodeId f) {
+  auto tt_of = [&](bdd::Edge f) {
     int tt = 0;
     std::vector<bool> assignment(2);
     for (int i = 0; i < 4; ++i) {
@@ -282,9 +282,11 @@ TEST(BddQueries, PickOneSatisfies) {
 TEST(BddQueries, DagSizeCountsSharedOnce) {
   Manager m(4);
   const Bdd x = m.var(0) ^ m.var(1) ^ m.var(2) ^ m.var(3);
-  // Parity over 4 vars without complement edges: 2 nodes per level below the
-  // top + 1 top node + 2 terminals = 1+2+2+2+2 = 9.
-  EXPECT_EQ(m.dag_size(x.id()), 9u);
+  // Parity over 4 vars with complement edges: one node per level (parity and
+  // its complement share nodes) + the terminal = 4 + 1 = 5.
+  EXPECT_EQ(m.dag_size(x.id()), 5u);
+  // Negation is free: !x shares every node with x.
+  EXPECT_EQ(m.dag_size({x.id(), (!x).id()}), m.dag_size(x.id()));
   // Shared roots counted once.
   const Bdd y = x ^ m.var(3);  // parity of first three vars
   const std::size_t both = m.dag_size({x.id(), y.id()});

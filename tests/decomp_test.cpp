@@ -159,7 +159,7 @@ TEST_P(DcAssignRandom, PerOutputAssignmentIsSoundAndMinimalish) {
     for (std::size_t b = a + 1; b < part.size(); ++b)
       if (part[a] == part[b]) { EXPECT_EQ(tables[0].entries[a], tables[0].entries[b]); }
   // The class count is at most the completely specified (dc->0) count.
-  std::set<bdd::NodeId> zero_ext;
+  std::set<bdd::Edge> zero_ext;
   for (const Isf& e : original.entries) zero_ext.insert(e.extension_zero().id());
   EXPECT_LE(k, static_cast<int>(zero_ext.size()));
   EXPECT_GE(k, 1);

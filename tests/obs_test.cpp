@@ -425,6 +425,7 @@ TEST_F(ObsTest, SynthesisResultCarriesAPopulatedReport) {
   EXPECT_GE(hit_rate, 0.0);
   EXPECT_LE(hit_rate, 1.0);
   EXPECT_GT(r.gauges.at("bdd.unique_table_size"), 0.0);
+  EXPECT_GT(r.gauges.at("bdd.cache_size"), 0.0);
   EXPECT_GT(r.gauges.at("net.luts"), 0.0);
 
   // And the whole report survives a serialization round-trip.

@@ -33,7 +33,7 @@ inline bdd::Bdd bdd_from_table(bdd::Manager& m, const Table& t, int n) {
 }
 
 /// Reads back a BDD as a truth table over variables 0..n-1.
-inline Table table_from_bdd(const bdd::Manager& m, bdd::NodeId f, int n) {
+inline Table table_from_bdd(const bdd::Manager& m, bdd::Edge f, int n) {
   Table t(std::size_t{1} << n);
   std::vector<bool> assignment(static_cast<std::size_t>(m.num_vars()), false);
   for (std::size_t idx = 0; idx < t.size(); ++idx) {
