@@ -6,16 +6,26 @@
 // the collected records are written as one JSON document at exit. Call
 // init_stats() before benchmark::Initialize (it strips the flag from argv)
 // and write_stats_json() before returning from main.
+//
+// Robustness flags (also stripped by init_stats, applied by run_flow):
+//   --time-budget-ms <n>   wall-clock budget per synthesis run
+//   --node-budget <n>      BDD node ceiling per synthesis run
+//   --fault-inject <spec>  fault-injection rules (see core/faultinject.h)
+// Budget overruns do not crash: the flow degrades (see docs/ROBUSTNESS.md)
+// and the --stats-json record carries the DegradationReport.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "circuits/circuits.h"
+#include "core/budget.h"
+#include "core/faultinject.h"
 #include "core/synthesizer.h"
 #include "obs/json.h"
 
@@ -33,6 +43,11 @@ struct FlowRun {
   int depth = 0;
   DecomposeStats stats;
   double seconds = 0.0;
+  bool verified = false;
+  DegradationReport degradation;  ///< which ladder levels this run hit
+  /// Non-empty when the run died on a typed error (e.g. a fault injected
+  /// outside the degradation ladder); the sweep continues past it.
+  std::string error;
   obs::Report report;  ///< phase tree + counters + gauges of this run
 };
 
@@ -42,6 +57,7 @@ struct StatsSink {
   std::string path;    // empty until --stats-json is seen
   std::string binary;  // argv[0] basename
   std::vector<std::string> rows;  // pre-serialized FlowRun objects
+  ResourceBudget budget;  // from --time-budget-ms / --node-budget
 };
 
 inline StatsSink& sink() {
@@ -71,34 +87,103 @@ inline std::string flow_run_json(const FlowRun& row) {
   w.key("max_depth").value(row.stats.max_depth);
   w.key("bdd_mux_fallbacks").value(row.stats.bdd_mux_fallbacks);
   w.end_object();
+  w.key("verified").value(row.verified);
+  w.key("error").value(row.error);
+  w.key("degradation").begin_object();
+  w.key("final_level").value(row.degradation.final_level);
+  w.key("final_level_name").value(degrade_level_name(row.degradation.final_level));
+  w.key("suspended_sections")
+      .value(static_cast<std::int64_t>(row.degradation.suspended_sections));
+  w.key("per_output_level").begin_array();
+  for (int level : row.degradation.per_output_level) w.value(level);
+  w.end_array();
+  w.key("events").begin_array();
+  for (const DegradeEvent& e : row.degradation.events) {
+    w.begin_object();
+    w.key("from").value(e.from_level);
+    w.key("to").value(e.to_level);
+    w.key("phase").value(e.phase);
+    w.key("reason").value(e.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.key("report").raw(row.report.to_json());
   w.end_object();
   return w.str();
 }
 
+/// strtol with a hard exit on garbage: these are operator-facing CLI flags,
+/// and silently running an *unbudgeted* sweep would defeat their purpose.
+inline long parse_flag_count(const char* flag, const char* value) {
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n", flag, value);
+    std::exit(2);
+  }
+  return v;
+}
+
 }  // namespace detail
 
-/// Strips `--stats-json <path>` / `--stats-json=<path>` from argv (so the
-/// flag never reaches benchmark::Initialize) and remembers the output path.
+/// Strips the harness flags from argv (so they never reach
+/// benchmark::Initialize) and remembers their values:
+///   --stats-json <path>      record runs, write one JSON document at exit
+///   --time-budget-ms <n>     per-run wall-clock budget (0 = unlimited)
+///   --node-budget <n>        per-run BDD node ceiling (0 = unlimited)
+///   --fault-inject <spec>    arm fault-injection rules (core/faultinject.h)
+/// All flags also accept the --flag=value spelling. A malformed fault spec
+/// or count exits with status 2 rather than running unprotected.
 inline void init_stats(int* argc, char** argv) {
   detail::StatsSink& s = detail::sink();
   if (*argc > 0) {
     const char* slash = std::strrchr(argv[0], '/');
     s.binary = slash != nullptr ? slash + 1 : argv[0];
   }
+  auto apply = [&s](const char* flag, const char* value) {
+    if (std::strcmp(flag, "--stats-json") == 0) {
+      s.path = value;
+    } else if (std::strcmp(flag, "--time-budget-ms") == 0) {
+      s.budget.time_ms = static_cast<double>(detail::parse_flag_count(flag, value));
+    } else if (std::strcmp(flag, "--node-budget") == 0) {
+      s.budget.node_ceiling =
+          static_cast<std::size_t>(detail::parse_flag_count(flag, value));
+    } else {  // --fault-inject
+      try {
+        fault::configure(value);
+      } catch (const ParseError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+      }
+    }
+  };
+  static constexpr const char* kFlags[] = {"--stats-json", "--time-budget-ms",
+                                           "--node-budget", "--fault-inject"};
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--stats-json") == 0 && i + 1 < *argc) {
-      s.path = argv[++i];
-    } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
-      s.path = arg + 13;
-    } else {
-      argv[out++] = argv[i];
+    bool consumed = false;
+    for (const char* flag : kFlags) {
+      const std::size_t n = std::strlen(flag);
+      if (std::strcmp(arg, flag) == 0 && i + 1 < *argc) {
+        apply(flag, argv[++i]);
+        consumed = true;
+        break;
+      }
+      if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=') {
+        apply(flag, arg + n + 1);
+        consumed = true;
+        break;
+      }
     }
+    if (!consumed) argv[out++] = argv[i];
   }
   *argc = out;
 }
+
+/// The budget requested on the command line ({} when none was given).
+inline const ResourceBudget& cli_budget() { return detail::sink().budget; }
 
 /// Records a completed flow run for --stats-json output (no-op when the flag
 /// was not given). run_flow() calls this automatically.
@@ -131,26 +216,47 @@ inline void write_stats_json() {
   std::printf("stats written to %s (%zu runs)\n", s.path.c_str(), s.rows.size());
 }
 
-/// Runs one synthesis flow on a named benchmark in a fresh manager.
+/// Runs one synthesis flow on a named benchmark in a fresh manager. Any
+/// --time-budget-ms / --node-budget from the command line overrides the
+/// options' budget fields (only the ones actually given).
+///
+/// A typed error (a fault injected outside the degradation ladder, or a
+/// budget trip even degradation could not absorb) does NOT kill the sweep:
+/// the row is recorded with `error` set and all-zero metrics, and the next
+/// circuit runs.
 inline FlowRun run_flow(const std::string& name, const SynthesisOptions& opts,
                         const std::string& flow = "") {
-  bdd::Manager m;
-  const circuits::Benchmark bench = circuits::build(name, m);
-  Synthesizer synth(opts);
-  const SynthesisResult r = synth.run(bench);
   FlowRun row;
   row.circuit = name;
   row.flow = flow;
-  row.inputs = bench.num_inputs;
-  row.outputs = static_cast<int>(bench.outputs.size());
-  row.luts = r.network.count_luts();
-  row.clb_greedy = r.clb_greedy.num_clbs;
-  row.clb_matching = r.clb_matching.num_clbs;
-  row.gates = r.network.count_gates();
-  row.depth = r.network.depth();
-  row.stats = r.stats;
-  row.seconds = r.seconds;
-  row.report = r.report;
+  try {
+    bdd::Manager m;
+    const circuits::Benchmark bench = circuits::build(name, m);
+    SynthesisOptions governed = opts;
+    const ResourceBudget& cli = cli_budget();
+    if (cli.time_ms > 0.0) governed.budget.time_ms = cli.time_ms;
+    if (cli.node_ceiling != 0) governed.budget.node_ceiling = cli.node_ceiling;
+    Synthesizer synth(governed);
+    const SynthesisResult r = synth.run(bench);
+    row.inputs = bench.num_inputs;
+    row.outputs = static_cast<int>(bench.outputs.size());
+    row.luts = r.network.count_luts();
+    row.clb_greedy = r.clb_greedy.num_clbs;
+    row.clb_matching = r.clb_matching.num_clbs;
+    row.gates = r.network.count_gates();
+    row.depth = r.network.depth();
+    row.stats = r.stats;
+    row.seconds = r.seconds;
+    row.verified = r.verified;
+    row.degradation = r.degradation;
+    row.report = r.report;
+  } catch (const Error& e) {
+    row.error = e.what();
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), e.what());
+  } catch (const std::bad_alloc&) {
+    row.error = "allocation failure (bad_alloc)";
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), row.error.c_str());
+  }
   record_run(row);
   return row;
 }

@@ -98,12 +98,12 @@ int main(int argc, char** argv) {
     std::string model_name = input;
 
     if (ends_with(input, ".pla")) {
-      const io::PlaFile pla = io::parse_pla(read_file(input));
+      const io::PlaFile pla = io::parse_pla(read_file(input), input);
       spec = io::pla_to_isfs(pla, m);
       in_names = pla.input_names;
       out_names = pla.output_names;
     } else if (ends_with(input, ".blif")) {
-      const io::BlifModel model = io::parse_blif(read_file(input), m);
+      const io::BlifModel model = io::parse_blif(read_file(input), m, input);
       for (const bdd::Bdd& f : model.functions)
         spec.push_back(Isf::completely_specified(f));
       in_names = model.inputs;

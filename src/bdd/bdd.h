@@ -46,6 +46,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace mfd {
+class ResourceGovernor;
+}  // namespace mfd
+
 namespace mfd::bdd {
 
 /// Arena index of a node (bit 0 of an Edge stripped).
@@ -233,7 +237,7 @@ class Manager {
   /// Coudert-Madre generalized cofactor ("restrict"): returns a function r
   /// with f & care <= r <= f | !care that tends to have a small BDD — the
   /// classic way to spend don't cares (!care) on representation size.
-  /// `care` must not be constant false (aborts loudly if it is).
+  /// `care` must not be constant false (throws mfd::BddError if it is).
   Edge restrict_to(Edge f, Edge care);
   /// Exchange two variables in f (functional swap, order unchanged).
   Edge swap_vars(Edge f, int va, int vb);
@@ -247,7 +251,7 @@ class Manager {
   /// Number of satisfying assignments over `nv` variables.
   double sat_count(Edge f, int nv) const;
   /// Any satisfying assignment (over all manager variables); f must not be
-  /// kFalse (aborts loudly if it is).
+  /// kFalse (throws mfd::BddError if it is).
   std::vector<bool> pick_one(Edge f) const;
   std::size_t dag_size(Edge f) const;
   /// DAG size of a set of roots counted once (shared nodes not double
@@ -262,6 +266,16 @@ class Manager {
   std::size_t unique_table_size() const;
   /// Current computed-table capacity in entries (grows with the node count).
   std::size_t cache_size() const { return cache_.size(); }
+  /// Binds a ResourceGovernor: every subsequent `mk` charges one operation
+  /// against it and may throw BudgetExceeded (see core/budget.h for the
+  /// exception-safety argument). Returns the previously bound governor so
+  /// callers can rebind RAII-style; pass nullptr to unbind.
+  ResourceGovernor* set_governor(ResourceGovernor* g) {
+    ResourceGovernor* prev = governor_;
+    governor_ = g;
+    return prev;
+  }
+  ResourceGovernor* governor() const { return governor_; }
   /// Publishes this manager's lifetime stats (live/peak nodes, unique-table
   /// size, GC runs, computed-cache size and hit rate, reorder swaps) as
   /// observability gauges under `<prefix>.*` — the flow calls this at report
@@ -371,6 +385,7 @@ class Manager {
   int op_depth_ = 0;
   int gc_pause_ = 0;
   bool in_reorder_ = false;
+  ResourceGovernor* governor_ = nullptr;
   ManagerStats stats_;
 };
 

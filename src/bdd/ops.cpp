@@ -9,21 +9,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 
 #include "bdd/bdd.h"
+#include "core/errors.h"
+#include "core/faultinject.h"
 
 namespace mfd::bdd {
-
-namespace {
-
-[[noreturn]] void die(const char* what) {
-  std::fprintf(stderr, "mfd::bdd: %s\n", what);
-  std::abort();
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Bdd handle operators
@@ -45,6 +36,7 @@ std::size_t Bdd::size() const { return mgr_->dag_size(id_); }
 // ---------------------------------------------------------------------------
 
 Edge Manager::ite(Edge f, Edge g, Edge h) {
+  if (fault::armed()) fault::point("bdd.ite");
   maybe_auto_gc(f, g, h);
   OpScope scope(*this);
   return ite_rec(f, g, h);
@@ -279,7 +271,8 @@ Edge Manager::compose(Edge f, int var, Edge g) {
 
 Edge Manager::restrict_to(Edge f, Edge care) {
   if (care == kFalse)
-    die("restrict_to: care set is constant false (the generalized cofactor "
+    throw BddError(
+        "restrict_to: care set is constant false (the generalized cofactor "
         "is undefined; guard the call site)");
   maybe_auto_gc(f, care);
   OpScope scope(*this);
@@ -417,7 +410,8 @@ double Manager::sat_count(Edge f, int nv) const {
 
 std::vector<bool> Manager::pick_one(Edge f) const {
   if (f == kFalse)
-    die("pick_one: function is constant false (no satisfying assignment "
+    throw BddError(
+        "pick_one: function is constant false (no satisfying assignment "
         "exists; guard the call site)");
   std::vector<bool> assignment(static_cast<std::size_t>(num_vars()), false);
   while (!is_terminal(f)) {

@@ -1,0 +1,198 @@
+// Resource-governed synthesis: budgets and the graceful-degradation ladder.
+//
+// The flow's expensive steps (BDD construction, clique-cover coloring,
+// symmetrization, the decomposition recursion itself) are exponential in the
+// worst case. Following standard industrial practice (cf. Mishchenko &
+// Brayton's budgeted SAT-based don't-care computation), every such step runs
+// under an explicit `ResourceGovernor`: a wall-clock deadline, a BDD
+// node-population ceiling, an operation count, and a recursion-depth bound.
+// Tripping a budget raises a typed `BudgetExceeded`; the decomposition
+// driver catches it and walks the *degradation ladder*
+//
+//   0 full flow  ->  1 greedy-only coloring  ->  2 skip DC steps 1/3
+//     ->  3 structural (Shannon / BDD-mux) fallback,
+//
+// recording each downgrade, so the flow always returns a *verified* network
+// plus a `DegradationReport` instead of crashing (see docs/ROBUSTNESS.md).
+//
+// Design notes
+// ------------
+// * The governor is installed per-flow via the thread-local `Scope`;
+//   subsystems without an explicit context parameter (coloring, symmetrize)
+//   consult `ResourceGovernor::current()`. `bdd::Manager` additionally keeps
+//   a direct pointer (set by the flow) so the `mk` hot path pays one branch,
+//   not a TLS load, when no governor is active.
+// * Budgets are *soft*: they bound optimization effort, never correctness.
+//   The ladder's floor (level 3) and exact verification run under a
+//   `SuspendScope` — once every cheaper rung has been tried, the final
+//   emission must complete, and that is recorded in the report.
+// * Deadline checks in the `mk` hot path are strided (one clock read per
+//   ~2048 operations) so governed runs stay within noise of ungoverned ones.
+// * This header depends only on core/errors.h and the standard library, so
+//   the low-level modules (bdd, util, sym) can include it without cycles.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/errors.h"
+
+namespace mfd {
+
+/// Per-flow resource budget. Zero means "unlimited" for every field.
+struct ResourceBudget {
+  /// Whole-flow wall-clock deadline in milliseconds.
+  double time_ms = 0.0;
+  /// Ceiling on the BDD manager's node population (live + dead).
+  std::size_t node_ceiling = 0;
+  /// Ceiling on counted BDD operations (mk calls).
+  std::uint64_t op_ceiling = 0;
+  /// Ceiling on the decomposition recursion depth.
+  int max_depth = 0;
+
+  bool unlimited() const {
+    return time_ms <= 0.0 && node_ceiling == 0 && op_ceiling == 0 && max_depth == 0;
+  }
+};
+
+/// The degradation ladder's rungs (monotone per flow).
+enum DegradeLevel : int {
+  kDegradeFull = 0,           ///< full flow (exact coloring, all DC steps)
+  kDegradeGreedyColoring = 1, ///< DSATUR only, no exact branch-and-bound
+  kDegradeNoDcSteps = 2,      ///< additionally skip DC steps 1 (symmetrize) and 3
+  kDegradeStructural = 3,     ///< Shannon / BDD-mux fallback only (ladder floor)
+};
+
+const char* degrade_level_name(int level);
+
+/// One downgrade, as recorded by ResourceGovernor::raise_degrade.
+struct DegradeEvent {
+  int from_level = 0;
+  int to_level = 0;
+  std::string phase;   ///< where the ladder moved (e.g. "decomp.synth@d=2")
+  std::string reason;  ///< the triggering error's message
+};
+
+/// What the flow reports next to its (always verified) network: which rung
+/// it finished on, which downgrades happened, and the rung each primary
+/// output was synthesized at.
+struct DegradationReport {
+  int final_level = kDegradeFull;
+  /// Ladder level active when each primary output's subtree completed.
+  std::vector<int> per_output_level;
+  std::vector<DegradeEvent> events;
+  /// Sections that ran with enforcement suspended (ladder floor, verify).
+  std::uint64_t suspended_sections = 0;
+
+  bool degraded() const { return final_level > kDegradeFull; }
+};
+
+class ResourceGovernor {
+ public:
+  explicit ResourceGovernor(const ResourceBudget& budget = {});
+  ResourceGovernor(const ResourceGovernor&) = delete;
+  ResourceGovernor& operator=(const ResourceGovernor&) = delete;
+
+  // ---- hot path ---------------------------------------------------------
+  /// One counted BDD operation (called from bdd::Manager::mk with the
+  /// current node population). Throws BudgetExceeded on any tripped budget;
+  /// a no-op while suspended.
+  void charge_mk(std::size_t node_population) {
+    if (suspend_ != 0) return;
+    ++ops_used_;
+    if (op_ceiling_ != 0 && ops_used_ > op_ceiling_) overrun_ops();
+    if (node_ceiling_ != 0 && node_population > node_ceiling_)
+      overrun_nodes(node_population);
+    if (--deadline_countdown_ <= 0) {
+      deadline_countdown_ = kDeadlineStride;
+      check_deadline("bdd");
+    }
+  }
+
+  // ---- explicit checkpoints --------------------------------------------
+  /// Throws BudgetExceeded(kTime) when the deadline has passed (no-op while
+  /// suspended). Call at phase boundaries.
+  void check_deadline(const char* where);
+  /// Throws BudgetExceeded(kDepth) when `depth` exceeds the recursion
+  /// budget (no-op while suspended).
+  void check_depth(int depth, const char* where);
+  /// Non-throwing deadline query for cooperative early-exit loops
+  /// (coloring restarts, symmetrize rounds). False while suspended.
+  bool deadline_expired() const noexcept;
+
+  /// Fault injection: moves the deadline into the past, so every subsequent
+  /// deadline check fires (the "induced timeout" fault).
+  void force_expire() noexcept;
+
+  // ---- degradation ladder ----------------------------------------------
+  int degrade_level() const { return report_.final_level; }
+  /// Monotonically raises the ladder level, recording the event (and obs
+  /// counters). Lower-or-equal levels are ignored.
+  void raise_degrade(int to_level, const std::string& phase, const std::string& reason);
+
+  // ---- enforcement suspension ------------------------------------------
+  /// While at least one SuspendScope is alive, every check is a no-op: used
+  /// by the ladder floor and exact verification, which must complete.
+  class SuspendScope {
+   public:
+    explicit SuspendScope(ResourceGovernor& g) : g_(g) {
+      ++g_.suspend_;
+      ++g_.report_.suspended_sections;
+    }
+    ~SuspendScope() { --g_.suspend_; }
+    SuspendScope(const SuspendScope&) = delete;
+    SuspendScope& operator=(const SuspendScope&) = delete;
+
+   private:
+    ResourceGovernor& g_;
+  };
+  bool suspended() const { return suspend_ != 0; }
+
+  // ---- queries ----------------------------------------------------------
+  const ResourceBudget& budget() const { return budget_; }
+  std::uint64_t ops_used() const { return ops_used_; }
+  double elapsed_ms() const;
+  /// Snapshot of the ladder state (per_output_level is filled by the flow).
+  const DegradationReport& report() const { return report_; }
+  void set_per_output_levels(std::vector<int> levels) {
+    report_.per_output_level = std::move(levels);
+  }
+
+  // ---- thread-local installation ---------------------------------------
+  /// Installs the governor as `current()` for this thread; restores the
+  /// previous one on destruction (scopes nest).
+  class Scope {
+   public:
+    explicit Scope(ResourceGovernor& g);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ResourceGovernor* prev_;
+  };
+  /// The innermost installed governor of this thread, or nullptr.
+  static ResourceGovernor* current() noexcept;
+
+ private:
+  [[noreturn]] void overrun_ops();
+  [[noreturn]] void overrun_nodes(std::size_t population);
+
+  static constexpr int kDeadlineStride = 2048;
+
+  ResourceBudget budget_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_ = false;
+  std::uint64_t op_ceiling_ = 0;
+  std::size_t node_ceiling_ = 0;
+  std::uint64_t ops_used_ = 0;
+  int deadline_countdown_ = kDeadlineStride;
+  int suspend_ = 0;
+  DegradationReport report_;
+};
+
+}  // namespace mfd

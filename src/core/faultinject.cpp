@@ -1,0 +1,163 @@
+#include "core/faultinject.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/errors.h"
+#include "obs/obs.h"
+
+namespace mfd::fault {
+namespace {
+
+enum class Kind { kBudget, kAlloc, kTimeout };
+
+struct Rule {
+  std::string site;
+  std::uint64_t at = 0;  // 1-based hit count
+  Kind kind = Kind::kBudget;
+  bool fired = false;
+};
+
+struct SiteCount {
+  std::string site;
+  std::uint64_t hits = 0;
+};
+
+// All mutable state behind one mutex; the hot path never takes it because
+// point() is gated on the armed flag.
+std::mutex g_mutex;
+std::vector<Rule> g_rules;
+std::vector<SiteCount> g_counts;
+
+Kind parse_kind(const std::string& s, int rule_index) {
+  if (s == "budget") return Kind::kBudget;
+  if (s == "alloc") return Kind::kAlloc;
+  if (s == "timeout") return Kind::kTimeout;
+  throw ParseError("<fault-spec>", rule_index,
+                   "unknown fault kind '" + s + "' (expected budget|alloc|timeout)");
+}
+
+std::vector<Rule> parse_spec(const std::string& spec) {
+  std::vector<Rule> rules;
+  std::size_t pos = 0;
+  int index = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (part.empty()) {
+      if (comma == spec.size()) break;
+      continue;
+    }
+    ++index;
+    const std::size_t at = part.find('@');
+    if (at == std::string::npos || at == 0)
+      throw ParseError("<fault-spec>", index,
+                       "rule '" + part + "' is missing 'site@k' (e.g. bdd.mk@10)");
+    Rule r;
+    r.site = part.substr(0, at);
+    std::string rest = part.substr(at + 1);
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      r.kind = parse_kind(rest.substr(colon + 1), index);
+      rest.resize(colon);
+    }
+    if (rest.empty() || rest.find_first_not_of("0123456789") != std::string::npos)
+      throw ParseError("<fault-spec>", index,
+                       "rule '" + part + "' has a non-numeric hit count '" + rest + "'");
+    r.at = std::strtoull(rest.c_str(), nullptr, 10);
+    if (r.at == 0)
+      throw ParseError("<fault-spec>", index,
+                       "rule '" + part + "' has hit count 0 (counts are 1-based)");
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+void init_from_env_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("MFD_FAULT_INJECT");
+    if (env == nullptr || env[0] == '\0') return;
+    // The env path must never throw: armed() is consulted from BDD hot
+    // paths, and a malformed variable should not take the process down.
+    try {
+      configure(env);
+    } catch (const ParseError& e) {
+      std::fprintf(stderr, "MFD_FAULT_INJECT ignored: %s\n", e.what());
+    }
+  });
+}
+
+void point_slow(const char* site) {
+  Kind fire = Kind::kBudget;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    SiteCount* count = nullptr;
+    for (SiteCount& c : g_counts)
+      if (c.site == site) {
+        count = &c;
+        break;
+      }
+    if (count == nullptr) {
+      g_counts.push_back(SiteCount{site, 0});
+      count = &g_counts.back();
+    }
+    ++count->hits;
+    for (Rule& r : g_rules) {
+      if (r.fired || r.site != site || r.at != count->hits) continue;
+      r.fired = true;
+      fire = r.kind;
+      fired = true;
+      break;
+    }
+  }
+  if (!fired) return;
+  obs::add("fault.fired");
+  obs::add(std::string("fault.fired.") + site);
+  switch (fire) {
+    case Kind::kBudget:
+      throw BudgetExceeded(BudgetExceeded::Resource::kInjected, site,
+                           "fault injection (kind=budget)");
+    case Kind::kAlloc:
+      throw std::bad_alloc();
+    case Kind::kTimeout:
+      if (ResourceGovernor* g = ResourceGovernor::current()) {
+        g->force_expire();
+        return;  // the next deadline check fires; this site continues
+      }
+      throw BudgetExceeded(BudgetExceeded::Resource::kInjected, site,
+                           "fault injection (kind=timeout, no governor installed)");
+  }
+}
+
+}  // namespace detail
+
+void configure(const std::string& spec) {
+  std::vector<Rule> rules = parse_spec(spec);  // may throw; old spec stays armed
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_rules = std::move(rules);
+  g_counts.clear();
+  detail::g_armed.store(!g_rules.empty(), std::memory_order_relaxed);
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_rules.clear();
+  g_counts.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace mfd::fault

@@ -1,14 +1,16 @@
 #include "core/synthesizer.h"
 
 #include <chrono>
-#include <stdexcept>
+#include <new>
 
+#include "core/errors.h"
 #include "net/simulate.h"
 
 namespace mfd {
 
 SynthesisResult Synthesizer::run(std::vector<Isf> spec,
-                                 const std::vector<int>& pi_vars) const {
+                                 const std::vector<int>& pi_vars,
+                                 const std::string& circuit) const {
   const auto start = std::chrono::steady_clock::now();
   // One run == one observability epoch: the report in the result covers
   // exactly this synthesis (including both portfolio entries).
@@ -16,29 +18,54 @@ SynthesisResult Synthesizer::run(std::vector<Isf> spec,
   obs::ScopedPhase phase("synthesize");
   SynthesisResult result;
 
+  // One governor covers the whole run (both portfolio entries, verification,
+  // packing); decompose() binds it to the BDD manager itself.
+  ResourceGovernor gov(opts_.budget);
+  ResourceGovernor::Scope gov_scope(gov);
+
   bdd::Manager* mgr = spec.empty() ? nullptr : spec.front().manager();
   const std::vector<Isf> original = spec;  // keep for verification
-  result.network = decompose(spec, pi_vars, opts_.decomp, &result.stats);
+  try {
+    result.network = decompose(spec, pi_vars, opts_.decomp, &result.stats);
 
-  if (opts_.decomp.max_bound_extra > 0 && opts_.portfolio_bound_extra) {
-    DecomposeOptions conservative = opts_.decomp;
-    conservative.max_bound_extra = 0;
-    DecomposeStats alt_stats;
-    net::LutNetwork alt = decompose(spec, pi_vars, conservative, &alt_stats);
-    obs::add("synth.portfolio_runs");
-    if (alt.count_luts() < result.network.count_luts()) {
-      result.network = std::move(alt);
-      result.stats = alt_stats;
-      obs::add("synth.portfolio_conservative_won");
+    // The portfolio's second entry is pure optimization: skip it when the
+    // budget already forced degradation or the deadline has passed — it
+    // would only walk the ladder again and discard the work.
+    if (opts_.decomp.max_bound_extra > 0 && opts_.portfolio_bound_extra &&
+        !gov.report().degraded() && !gov.deadline_expired()) {
+      DecomposeOptions conservative = opts_.decomp;
+      conservative.max_bound_extra = 0;
+      DecomposeStats alt_stats;
+      net::LutNetwork alt = decompose(spec, pi_vars, conservative, &alt_stats);
+      obs::add("synth.portfolio_runs");
+      if (alt.count_luts() < result.network.count_luts()) {
+        result.network = std::move(alt);
+        result.stats = alt_stats;
+        obs::add("synth.portfolio_conservative_won");
+      }
+    } else if (opts_.decomp.max_bound_extra > 0 && opts_.portfolio_bound_extra) {
+      obs::add("synth.portfolio_skipped_budget");
     }
+  } catch (const std::bad_alloc&) {
+    // Only an allocation fault injected into the ladder's suspended floor
+    // can reach here; surface it typed so callers never see a raw bad_alloc.
+    throw BddError("allocation failure escaped the degradation ladder" +
+                   (circuit.empty() ? std::string() : " (circuit=" + circuit + ")"));
   }
   spec.clear();
 
+  // The per-output levels of the *winning* network (the governor's snapshot
+  // tracks the most recent decompose call, which may be the discarded one).
+  gov.set_per_output_levels(result.stats.output_degrade_level);
+
   if (opts_.verify) {
+    // Verification is exactness, not optimization: it runs with budget
+    // enforcement suspended so a tight deadline can never abort it.
+    ResourceGovernor::SuspendScope suspend(gov);
     obs::ScopedPhase verify_phase("verify");
     std::string error;
     if (!net::check_exact(result.network, original, pi_vars, &error))
-      throw std::runtime_error("synthesis verification failed: " + error);
+      throw VerifyError(circuit, "verify", gov.degrade_level(), error);
     result.verified = true;
   }
 
@@ -49,6 +76,8 @@ SynthesisResult Synthesizer::run(std::vector<Isf> spec,
   }
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  result.degradation = gov.report();
 
   obs::gauge_set("net.luts", result.network.count_luts());
   obs::gauge_set("net.gates", result.network.count_gates());
@@ -65,7 +94,7 @@ SynthesisResult Synthesizer::run(const circuits::Benchmark& bench) const {
   for (const bdd::Bdd& f : bench.outputs) spec.push_back(Isf::completely_specified(f));
   std::vector<int> pi_vars(static_cast<std::size_t>(bench.num_inputs));
   for (int i = 0; i < bench.num_inputs; ++i) pi_vars[static_cast<std::size_t>(i)] = i;
-  return run(std::move(spec), pi_vars);
+  return run(std::move(spec), pi_vars, bench.name);
 }
 
 SynthesisOptions preset_mulop_dc(int lut_inputs) {

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "circuits/circuits.h"
+#include "core/budget.h"
 #include "decomp/decompose.h"
 #include "isf/isf.h"
 #include "map/clb.h"
@@ -31,6 +33,10 @@ struct SynthesisOptions {
   /// dramatically on mux-structured functions and can hurt badly on others;
   /// no static estimate separates the two reliably, so we measure.
   bool portfolio_bound_extra = true;
+  /// Resource budget for the whole run (zero fields = unlimited). Tripping
+  /// it never fails the run: the decomposition walks the degradation ladder
+  /// (core/budget.h) and the result records how far it fell.
+  ResourceBudget budget;
 };
 
 struct SynthesisResult {
@@ -39,6 +45,9 @@ struct SynthesisResult {
   map::ClbResult clb_greedy;    ///< mulop-dc packing
   map::ClbResult clb_matching;  ///< mulop-dcII packing
   bool verified = false;        ///< true iff verification ran and passed
+  /// Which degradation-ladder rung the run finished on, every downgrade
+  /// event, and the rung each primary output was synthesized at.
+  DegradationReport degradation;
   double seconds = 0.0;
   /// Phase tree + counters + gauges of this run (see docs/OBSERVABILITY.md).
   /// `run` resets the process-wide registry at entry, so the report covers
@@ -53,8 +62,10 @@ class Synthesizer {
   const SynthesisOptions& options() const { return opts_; }
 
   /// Synthesizes a multi-output ISF; `pi_vars[i]` is the manager variable of
-  /// primary input i.
-  SynthesisResult run(std::vector<Isf> spec, const std::vector<int>& pi_vars) const;
+  /// primary input i. `circuit` names the run in errors and reports (a
+  /// VerifyError from a long table sweep is attributable to its circuit).
+  SynthesisResult run(std::vector<Isf> spec, const std::vector<int>& pi_vars,
+                      const std::string& circuit = {}) const;
 
   /// Synthesizes a completely specified benchmark function.
   SynthesisResult run(const circuits::Benchmark& bench) const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "core/budget.h"
+#include "core/faultinject.h"
 #include "decomp/compat.h"
 #include "obs/obs.h"
 #include "util/coloring.h"
@@ -119,10 +121,21 @@ BoundSetChoice select_bound_set(const std::vector<Isf>& fns,
   supports.reserve(fns.size());
   for (const Isf& f : fns) supports.push_back(f.support());
 
+  if (fault::armed()) fault::point("decomp.boundset");
+
   BoundSetChoice best;
   int evaluations = 0;
+  // Candidate evaluation is the search's unit of cost; under an installed
+  // governor an expired deadline stops the search at the best bound set found
+  // so far (possibly none, which sends the caller to the fallback path).
+  ResourceGovernor* gov = ResourceGovernor::current();
   auto consider = [&](const std::vector<int>& bound) {
     if (evaluations >= opts.max_evaluations) return;
+    if (gov != nullptr && gov->deadline_expired()) {
+      obs::add("boundset.deadline_stops");
+      evaluations = opts.max_evaluations;  // also stops the exchange passes
+      return;
+    }
     ++evaluations;
     BoundSetChoice c = evaluate_bound_set(fns, supports, bound, opts.seed);
     if (best.vars.empty() || better(c, best)) best = std::move(c);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/faultinject.h"
 #include "obs/obs.h"
 #include "util/coloring.h"
 
@@ -77,6 +78,7 @@ int num_classes(const std::vector<int>& partition) {
 }
 
 int assign_joint(std::vector<CofactorTable>& tables, std::uint64_t seed) {
+  if (fault::armed()) fault::point("decomp.dc_assign");
   std::vector<const CofactorTable*> ptrs;
   ptrs.reserve(tables.size());
   for (const CofactorTable& t : tables) ptrs.push_back(&t);
@@ -103,6 +105,7 @@ int assign_joint(std::vector<CofactorTable>& tables, std::uint64_t seed) {
 
 std::vector<std::vector<int>> assign_per_output(std::vector<CofactorTable>& tables,
                                                 std::uint64_t seed) {
+  if (fault::armed()) fault::point("decomp.dc_assign");
   std::vector<std::vector<int>> partitions;
   partitions.reserve(tables.size());
   for (CofactorTable& t : tables) {

@@ -6,8 +6,11 @@
 #include <climits>
 #include <cstdio>
 #include <map>
+#include <new>
+#include <optional>
 #include <unordered_map>
 
+#include "core/budget.h"
 #include "decomp/compat.h"
 #include "decomp/dc_assign.h"
 #include "decomp/encoding.h"
@@ -20,12 +23,26 @@ namespace {
 
 constexpr int kNoSignal = -1000000;
 
+/// Marker id for functions that are not primary outputs (alpha recursions);
+/// their ladder level is not attributed to anyone.
+constexpr int kInternalId = -1;
+
 struct Ctx {
   bdd::Manager& m;
   const DecomposeOptions& opts;
+  ResourceGovernor* gov;  // never null inside synth (decompose installs one)
   net::LutNetwork net;
   std::vector<int> var_signal;  // manager var -> network signal
+  std::vector<int> out_level;   // primary output -> ladder level at emission
   DecomposeStats stats;
+
+  /// Attributes the currently active ladder level to primary output `id`
+  /// (called at every signal-emission site; internal ids are ignored).
+  void record_level(int id) {
+    if (id == kInternalId) return;
+    int& slot = out_level[static_cast<std::size_t>(id)];
+    slot = std::max(slot, gov->degrade_level());
+  }
 
   int signal_of(int var) const {
     assert(var_signal[static_cast<std::size_t>(var)] != kNoSignal);
@@ -77,7 +94,43 @@ std::vector<int> union_of_supports(const std::vector<Isf>& fns) {
   return active;
 }
 
-std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth);
+std::vector<int> synth_attempt(Ctx& c, const std::vector<Isf>& input,
+                               const std::vector<int>& ids, int depth);
+
+/// Ladder driver wrapping synth_attempt. On BudgetExceeded / bad_alloc it
+/// raises the (global, monotone) degradation level one rung and retries the
+/// same subproblem; the structural floor (level 3) runs with enforcement
+/// suspended, so it completes unless a fault is injected into it — only then
+/// does a typed error escape to the caller. `ids[i]` is the primary-output
+/// index function i computes (kInternalId for alpha recursions), used to
+/// attribute the final ladder level per output.
+std::vector<int> synth(Ctx& c, std::vector<Isf> fns, const std::vector<int>& ids,
+                       int depth) {
+  ResourceGovernor& gov = *c.gov;
+  for (;;) {
+    const int level = gov.degrade_level();
+    try {
+      if (level >= kDegradeStructural) {
+        ResourceGovernor::SuspendScope suspend(gov);
+        return synth_attempt(c, fns, ids, depth);
+      }
+      return synth_attempt(c, fns, ids, depth);
+    } catch (const BudgetExceeded& e) {
+      if (level >= kDegradeStructural) throw;  // even the suspended floor failed
+      gov.raise_degrade(level + 1, "decomp.synth@d=" + std::to_string(depth),
+                        e.what());
+      obs::add("decomp.ladder_retries");
+    } catch (const std::bad_alloc&) {
+      if (level >= kDegradeStructural) throw;
+      gov.raise_degrade(level + 1, "decomp.synth@d=" + std::to_string(depth),
+                        "allocation failure (bad_alloc)");
+      obs::add("decomp.ladder_retries");
+    }
+    // LUTs emitted by the aborted attempt are unreferenced (outputs attach
+    // only at the end of decompose) and swept by net.simplify(); BDD
+    // intermediates are dead roots reclaimed by the next garbage collection.
+  }
+}
 
 /// Greedy clustering of outputs by support overlap: an output joins the
 /// cluster it overlaps most, if the overlap covers at least half of its own
@@ -208,7 +261,8 @@ int emit_bdd_muxes(Ctx& c, const Isf& f) {
 
 /// Shannon (mux) fallback: guaranteed support reduction when no bound set
 /// yields one.
-std::vector<int> shannon_step(Ctx& c, const std::vector<Isf>& fns, int depth) {
+std::vector<int> shannon_step(Ctx& c, const std::vector<Isf>& fns,
+                              const std::vector<int>& ids, int depth) {
   ++c.stats.shannon_fallbacks;
   obs::add("decomp.shannon_fallbacks");
   bdd::Manager& m = c.m;
@@ -230,18 +284,23 @@ std::vector<int> shannon_step(Ctx& c, const std::vector<Isf>& fns, int depth) {
   }
 
   std::vector<Isf> halves;
+  std::vector<int> half_ids;
   halves.reserve(fns.size() * 2);
-  for (const Isf& f : fns) {
-    halves.push_back(f.cofactor(split, false));
-    halves.push_back(f.cofactor(split, true));
+  half_ids.reserve(fns.size() * 2);
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    halves.push_back(fns[i].cofactor(split, false));
+    halves.push_back(fns[i].cofactor(split, true));
+    half_ids.push_back(ids[i]);
+    half_ids.push_back(ids[i]);
   }
   obs::ScopedPhase recurse_phase("recurse");
-  const std::vector<int> sub = synth(c, std::move(halves), depth + 1);
+  const std::vector<int> sub = synth(c, std::move(halves), half_ids, depth + 1);
 
   const int sel = c.signal_of(split);
   std::vector<int> result(fns.size());
   for (std::size_t i = 0; i < fns.size(); ++i) {
     const int s0 = sub[2 * i], s1 = sub[2 * i + 1];
+    c.record_level(ids[i]);
     if (c.opts.lut_inputs >= 3) {
       // One 3-input mux LUT: inputs (sel, d1, d0).
       net::Lut mux;
@@ -265,34 +324,44 @@ std::vector<int> shannon_step(Ctx& c, const std::vector<Isf>& fns, int depth) {
 /// small support (the recursion then reconsiders the halves), map the rest
 /// directly as BDD mux networks (bounded cost; a Shannon cascade over a wide
 /// support could fan out exponentially).
-std::vector<int> fallback_emit(Ctx& c, const std::vector<Isf>& work, int depth) {
+std::vector<int> fallback_emit(Ctx& c, const std::vector<Isf>& work,
+                               const std::vector<int>& ids, int depth) {
   std::vector<int> sigs(work.size(), net::kConst0);
   std::vector<int> small_idx;
   std::vector<Isf> small_fns;
+  std::vector<int> small_ids;
   for (std::size_t i = 0; i < work.size(); ++i) {
     if (static_cast<int>(work[i].support().size()) <= c.opts.shannon_support_limit) {
       small_idx.push_back(static_cast<int>(i));
       small_fns.push_back(work[i]);
+      small_ids.push_back(ids[i]);
     } else {
       sigs[i] = emit_bdd_muxes(c, work[i]);
+      c.record_level(ids[i]);
       ++c.stats.bdd_mux_fallbacks;
       obs::add("decomp.bdd_mux_fallbacks");
     }
   }
   if (!small_fns.empty()) {
-    const std::vector<int> sub = shannon_step(c, small_fns, depth);
+    const std::vector<int> sub = shannon_step(c, small_fns, small_ids, depth);
     for (std::size_t i = 0; i < small_idx.size(); ++i)
       sigs[static_cast<std::size_t>(small_idx[i])] = sub[i];
   }
   return sigs;
 }
 
-std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
+std::vector<int> synth_attempt(Ctx& c, const std::vector<Isf>& input,
+                               const std::vector<int>& ids, int depth) {
   c.stats.max_depth = std::max(c.stats.max_depth, depth);
   obs::add("decomp.levels");
   obs::gauge_max("decomp.max_depth", depth);
   bdd::Manager& m = c.m;
   const int k = c.opts.lut_inputs;
+  c.gov->check_depth(depth, "decomp.synth");
+  c.gov->check_deadline("decomp.synth");
+
+  // The ladder driver retries with the same input, so leave it intact.
+  std::vector<Isf> fns = input;
 
   // mulopII baseline: every don't care becomes 0 before anything else.
   if (!c.opts.exploit_dc)
@@ -304,16 +373,33 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
     // Don't cares may admit an extension that fits a single LUT even when
     // the raw on-set does not (Coudert-Madre restrict).
     const bdd::Bdd ext = fns[i].extension_small();
-    if (static_cast<int>(m.support(ext.id()).size()) <= k)
+    if (static_cast<int>(m.support(ext.id()).size()) <= k) {
       result[i] = emit_small(c, ext);
-    else
+      c.record_level(ids[i]);
+    } else {
       big.push_back(static_cast<int>(i));
+    }
   }
   if (big.empty()) return result;
 
   std::vector<Isf> work;
+  std::vector<int> work_ids;
   work.reserve(big.size());
-  for (int i : big) work.push_back(fns[i]);
+  work_ids.reserve(big.size());
+  for (int i : big) {
+    work.push_back(fns[i]);
+    work_ids.push_back(ids[static_cast<std::size_t>(i)]);
+  }
+
+  // ---- ladder floor: structural emission only --------------------------
+  // At the bottom rung the bound-set machinery is bypassed entirely; Shannon
+  // splits and direct BDD mux mapping are linear in the BDD sizes, so this
+  // path terminates wherever the full flow would diverge.
+  if (c.gov->degrade_level() >= kDegradeStructural) {
+    const std::vector<int> sigs = fallback_emit(c, work, work_ids, depth);
+    for (std::size_t i = 0; i < big.size(); ++i) result[big[i]] = sigs[i];
+    return result;
+  }
 
   // ---- cluster outputs by support overlap ------------------------------
   // One bound set serves one cluster; outputs with mostly disjoint supports
@@ -327,9 +413,14 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
     if (clusters.size() > 1) {
       for (const std::vector<int>& cluster : clusters) {
         std::vector<Isf> group;
+        std::vector<int> group_ids;
         group.reserve(cluster.size());
-        for (int i : cluster) group.push_back(work[static_cast<std::size_t>(i)]);
-        const std::vector<int> sigs = synth(c, std::move(group), depth);
+        group_ids.reserve(cluster.size());
+        for (int i : cluster) {
+          group.push_back(work[static_cast<std::size_t>(i)]);
+          group_ids.push_back(work_ids[static_cast<std::size_t>(i)]);
+        }
+        const std::vector<int> sigs = synth(c, std::move(group), group_ids, depth);
         for (std::size_t i = 0; i < cluster.size(); ++i)
           result[big[static_cast<std::size_t>(cluster[i])]] = sigs[i];
       }
@@ -349,7 +440,10 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
   }
 
   // ---- step 1: symmetrize --------------------------------------------
+  // Skipped from ladder level 2 on: symmetrization only buys optimization
+  // quality, and it is one of the two DC steps the ladder sheds.
   if (c.opts.exploit_dc && c.opts.dc_symmetrize &&
+      c.gov->degrade_level() < kDegradeNoDcSteps &&
       static_cast<int>(active.size()) <= c.opts.symmetrize_max_vars) {
     obs::ScopedPhase phase("symmetrize");
     const SymmetrizeStats s = symmetrize(work, active);
@@ -425,7 +519,7 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
                  trace_ms(), depth, choice.vars.size(), choice.benefit);
 
   if (choice.vars.empty() || adjusted_benefit(choice) <= 0) {
-    const std::vector<int> sigs = fallback_emit(c, work, depth);
+    const std::vector<int> sigs = fallback_emit(c, work, work_ids, depth);
     for (std::size_t i = 0; i < big.size(); ++i) result[big[i]] = sigs[i];
     return result;
   }
@@ -446,7 +540,9 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
     // [10]-style: one joint partition for every output. Vertices with
     // identical cofactors across all outputs share a class; the shared code
     // of that partition is trivially strict for every output.
-    if (c.opts.exploit_dc && c.opts.dc_per_output) assign_per_output(tables, c.opts.seed);
+    if (c.opts.exploit_dc && c.opts.dc_per_output &&
+        c.gov->degrade_level() < kDegradeNoDcSteps)
+      assign_per_output(tables, c.opts.seed);
     std::map<std::vector<std::pair<bdd::Edge, bdd::Edge>>, int> classes;
     std::vector<int> joint(tables.front().entries.size());
     for (std::size_t v = 0; v < joint.size(); ++v) {
@@ -458,7 +554,9 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
                      .first->second;
     }
     partitions.assign(tables.size(), joint);
-  } else if (c.opts.exploit_dc && c.opts.dc_per_output) {
+  } else if (c.opts.exploit_dc && c.opts.dc_per_output &&
+             c.gov->degrade_level() < kDegradeNoDcSteps) {
+    // Step 3 is the other DC step shed at ladder level 2.
     obs::ScopedPhase phase("per_output");
     partitions = assign_per_output(tables, c.opts.seed);
   } else {
@@ -493,7 +591,7 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
       actual_benefit -= static_cast<long>(enc.total_functions()) *
                         (alpha_tree_luts(static_cast<int>(bound.size())) - 1);
     if (actual_benefit <= 0) {
-      const std::vector<int> sigs = fallback_emit(c, work, depth);
+      const std::vector<int> sigs = fallback_emit(c, work, work_ids, depth);
       for (std::size_t i = 0; i < big.size(); ++i) result[big[i]] = sigs[i];
       return result;
     }
@@ -534,8 +632,10 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
       }
       alpha_fns.push_back(Isf::completely_specified(alpha));
     }
+    const std::vector<int> alpha_ids(alpha_fns.size(), kInternalId);
     obs::ScopedPhase recurse_phase("recurse");
-    const std::vector<int> alpha_sigs = synth(c, std::move(alpha_fns), depth + 1);
+    const std::vector<int> alpha_sigs =
+        synth(c, std::move(alpha_fns), alpha_ids, depth + 1);
     for (int j = 0; j < enc.total_functions(); ++j) {
       const int var = m.add_var();
       c.bind(var, alpha_sigs[static_cast<std::size_t>(j)]);
@@ -566,10 +666,28 @@ std::vector<int> synth(Ctx& c, std::vector<Isf> fns, int depth) {
   m.garbage_collect();
 
   obs::ScopedPhase recurse_phase("recurse");
-  const std::vector<int> sigs = synth(c, std::move(g_fns), depth + 1);
+  const std::vector<int> sigs = synth(c, std::move(g_fns), work_ids, depth + 1);
   for (std::size_t i = 0; i < big.size(); ++i) result[big[i]] = sigs[i];
   return result;
 }
+
+}  // namespace
+
+namespace {
+
+/// RAII binding of a governor to a manager's mk hot path (restores the
+/// previous binding, so nested flows over the same manager compose).
+struct ManagerGovernorBinding {
+  ManagerGovernorBinding(bdd::Manager& m, ResourceGovernor* g)
+      : m_(m), prev_(m.set_governor(g)) {}
+  ~ManagerGovernorBinding() { m_.set_governor(prev_); }
+  ManagerGovernorBinding(const ManagerGovernorBinding&) = delete;
+  ManagerGovernorBinding& operator=(const ManagerGovernorBinding&) = delete;
+
+ private:
+  bdd::Manager& m_;
+  ResourceGovernor* prev_;
+};
 
 }  // namespace
 
@@ -579,15 +697,39 @@ net::LutNetwork decompose(std::vector<Isf> fns, const std::vector<int>& pi_vars,
   obs::ScopedPhase phase("decompose");
   obs::add("decomp.runs");
   bdd::Manager& m = *fns.front().manager();
-  Ctx c{m, opts, net::LutNetwork(static_cast<int>(pi_vars.size())), {}, {}};
+
+  // The ladder driver needs a governor even when the caller did not install
+  // one (standalone decompose in tests/benches): an unlimited local governor
+  // never trips a budget but still carries the degradation state, so
+  // injected faults recover through the same path.
+  ResourceGovernor* gov = ResourceGovernor::current();
+  std::optional<ResourceGovernor> local_gov;
+  std::optional<ResourceGovernor::Scope> local_scope;
+  if (gov == nullptr) {
+    local_gov.emplace();
+    local_scope.emplace(*local_gov);
+    gov = &*local_gov;
+  }
+  ManagerGovernorBinding bind_mgr(m, gov);
+
+  const std::size_t num_outputs = fns.size();
+  Ctx c{m, opts, gov, net::LutNetwork(static_cast<int>(pi_vars.size())), {}, {}, {}};
   c.var_signal.assign(static_cast<std::size_t>(m.num_vars()), kNoSignal);
+  c.out_level.assign(num_outputs, kDegradeFull);
   for (std::size_t i = 0; i < pi_vars.size(); ++i)
     c.bind(pi_vars[i], static_cast<int>(i));
 
-  const std::vector<int> sigs = synth(c, std::move(fns), 0);
+  std::vector<int> ids(num_outputs);
+  for (std::size_t i = 0; i < num_outputs; ++i) ids[i] = static_cast<int>(i);
+
+  const std::vector<int> sigs = synth(c, std::move(fns), ids, 0);
   for (int s : sigs) c.net.add_output(s);
+  // simplify() also sweeps any LUTs stranded by ladder-aborted attempts
+  // (outputs only attach here, so such LUTs are dead by construction).
   c.net.simplify();
   c.net.collapse(opts.lut_inputs);
+  c.stats.output_degrade_level = c.out_level;
+  gov->set_per_output_levels(c.out_level);
   if (stats) *stats = c.stats;
   return std::move(c.net);
 }

@@ -81,6 +81,9 @@ struct DecomposeStats {
   int max_depth = 0;
   /// Outputs emitted as direct BDD mux networks (bounded last resort).
   int bdd_mux_fallbacks = 0;
+  /// Degradation-ladder level (core/budget.h) active when each primary
+  /// output's signal was emitted; all zeros on an undegraded run.
+  std::vector<int> output_degrade_level;
 };
 
 /// Decomposes the multi-output ISF `fns` into a LUT network.

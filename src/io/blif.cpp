@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "circuits/circuits.h"
+#include "core/errors.h"
 
 namespace mfd::io {
 namespace {
@@ -17,69 +18,87 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
+/// One logical line: its tokens plus the 1-based physical line where it
+/// starts ('\' continuations glue onto the line that opened them), so parse
+/// errors point at real file positions.
+struct LogicalLine {
+  std::vector<std::string> tokens;
+  int line_no = 0;
+};
+
 /// Reads logical lines, gluing '\' continuations and stripping comments.
-std::vector<std::vector<std::string>> logical_lines(const std::string& text) {
-  std::vector<std::vector<std::string>> lines;
+std::vector<LogicalLine> logical_lines(const std::string& text) {
+  std::vector<LogicalLine> lines;
   std::istringstream is(text);
   std::string line, joined;
+  int line_no = 0;
+  int start_line = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     const std::size_t comment = line.find('#');
     if (comment != std::string::npos) line.erase(comment);
     const bool cont = !line.empty() && line.back() == '\\';
     if (cont) line.pop_back();
+    if (joined.empty()) start_line = line_no;
     joined += line + " ";
     if (cont) continue;
     std::vector<std::string> tokens = tokenize(joined);
     joined.clear();
-    if (!tokens.empty()) lines.push_back(std::move(tokens));
+    if (!tokens.empty()) lines.push_back(LogicalLine{std::move(tokens), start_line});
   }
   return lines;
 }
 
 }  // namespace
 
-BlifModel parse_blif(const std::string& text, bdd::Manager& m) {
+BlifModel parse_blif(const std::string& text, bdd::Manager& m,
+                     const std::string& filename) {
   BlifModel model;
   const auto lines = logical_lines(text);
 
   std::map<std::string, bdd::Bdd> signal;
   std::size_t li = 0;
 
-  auto read_names_block = [&](const std::vector<std::string>& header, std::size_t& pos) {
-    const std::vector<std::string> ios(header.begin() + 1, header.end());
-    if (ios.empty()) throw std::runtime_error("blif: empty .names");
+  auto read_names_block = [&](const LogicalLine& header, std::size_t& pos) {
+    const std::vector<std::string> ios(header.tokens.begin() + 1, header.tokens.end());
+    if (ios.empty()) throw ParseError(filename, header.line_no, "blif: empty .names");
     const std::string target = ios.back();
     const int k = static_cast<int>(ios.size()) - 1;
     std::vector<bdd::Bdd> fanin;
     for (int i = 0; i < k; ++i) {
       const auto it = signal.find(ios[static_cast<std::size_t>(i)]);
       if (it == signal.end())
-        throw std::runtime_error("blif: use of undefined signal " + ios[static_cast<std::size_t>(i)] +
-                                 " (non-topological order is unsupported)");
+        throw ParseError(filename, header.line_no,
+                         "blif: use of undefined signal " + ios[static_cast<std::size_t>(i)] +
+                             " (non-topological order is unsupported)");
       fanin.push_back(it->second);
     }
     bdd::Bdd on = m.bdd_false();
     bool complemented = false;
-    while (pos < lines.size() && lines[pos].front()[0] != '.') {
-      const auto& cube_line = lines[pos++];
+    while (pos < lines.size() && lines[pos].tokens.front()[0] != '.') {
+      const LogicalLine& cube_line = lines[pos++];
       std::string in, out;
       if (k == 0) {
-        if (cube_line.size() != 1) throw std::runtime_error("blif: bad constant cover");
-        out = cube_line[0];
+        if (cube_line.tokens.size() != 1)
+          throw ParseError(filename, cube_line.line_no, "blif: bad constant cover");
+        out = cube_line.tokens[0];
       } else {
-        if (cube_line.size() != 2) throw std::runtime_error("blif: bad cover line");
-        in = cube_line[0];
-        out = cube_line[1];
+        if (cube_line.tokens.size() != 2)
+          throw ParseError(filename, cube_line.line_no, "blif: bad cover line");
+        in = cube_line.tokens[0];
+        out = cube_line.tokens[1];
         if (static_cast<int>(in.size()) != k)
-          throw std::runtime_error("blif: cover width mismatch");
+          throw ParseError(filename, cube_line.line_no, "blif: cover width mismatch");
       }
-      if (out != "1" && out != "0") throw std::runtime_error("blif: bad output plane");
+      if (out != "1" && out != "0")
+        throw ParseError(filename, cube_line.line_no, "blif: bad output plane");
       complemented = (out == "0");
       bdd::Bdd cube = m.bdd_true();
       for (int i = 0; i < k; ++i) {
         const char ch = in[static_cast<std::size_t>(i)];
         if (ch == '-') continue;
-        if (ch != '0' && ch != '1') throw std::runtime_error("blif: bad cover character");
+        if (ch != '0' && ch != '1')
+          throw ParseError(filename, cube_line.line_no, "blif: bad cover character");
         cube &= (ch == '1') ? fanin[static_cast<std::size_t>(i)]
                             : !fanin[static_cast<std::size_t>(i)];
       }
@@ -90,34 +109,37 @@ BlifModel parse_blif(const std::string& text, bdd::Manager& m) {
 
   bool in_model = false;
   while (li < lines.size()) {
-    const std::vector<std::string> header = lines[li++];
-    const std::string& head = header.front();
+    const LogicalLine header = lines[li++];
+    const std::string& head = header.tokens.front();
     if (head == ".model") {
-      if (in_model) throw std::runtime_error("blif: multiple models unsupported");
+      if (in_model)
+        throw ParseError(filename, header.line_no, "blif: multiple models unsupported");
       in_model = true;
-      if (header.size() > 1) model.name = header[1];
+      if (header.tokens.size() > 1) model.name = header.tokens[1];
     } else if (head == ".inputs") {
-      for (std::size_t i = 1; i < header.size(); ++i) {
+      for (std::size_t i = 1; i < header.tokens.size(); ++i) {
         circuits::ensure_vars(m, static_cast<int>(model.inputs.size()) + 1);
-        signal[header[i]] = m.var(static_cast<int>(model.inputs.size()));
-        model.inputs.push_back(header[i]);
+        signal[header.tokens[i]] = m.var(static_cast<int>(model.inputs.size()));
+        model.inputs.push_back(header.tokens[i]);
       }
     } else if (head == ".outputs") {
-      model.outputs.assign(header.begin() + 1, header.end());
+      model.outputs.assign(header.tokens.begin() + 1, header.tokens.end());
     } else if (head == ".names") {
       read_names_block(header, li);
     } else if (head == ".end") {
       break;
     } else if (head[0] == '.') {
-      throw std::runtime_error("blif: unsupported directive " + head);
+      throw ParseError(filename, header.line_no, "blif: unsupported directive " + head);
     } else {
-      throw std::runtime_error("blif: stray line starting with " + head);
+      throw ParseError(filename, header.line_no, "blif: stray line starting with " + head);
     }
   }
 
   for (const std::string& out : model.outputs) {
     const auto it = signal.find(out);
-    if (it == signal.end()) throw std::runtime_error("blif: undriven output " + out);
+    // Line 0: a whole-model error with no single offending line.
+    if (it == signal.end())
+      throw ParseError(filename, 0, "blif: undriven output " + out);
     model.functions.push_back(it->second);
   }
   return model;

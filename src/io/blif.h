@@ -24,8 +24,11 @@ struct BlifModel {
 
 /// Parses a combinational BLIF model (single .model; .names covers with
 /// {0,1,-} input plane and a constant output plane character).
-/// Throws std::runtime_error on malformed or unsupported input.
-BlifModel parse_blif(const std::string& text, bdd::Manager& m);
+/// Throws mfd::ParseError — carrying `filename` and the 1-based physical
+/// line number where the offending logical line starts ('\\' continuations
+/// report the first line) — on malformed or unsupported input.
+BlifModel parse_blif(const std::string& text, bdd::Manager& m,
+                     const std::string& filename = "<blif>");
 
 /// Serializes a LUT network as BLIF. Signal names are synthesized as
 /// pi<i> / n<i> unless names are provided.

@@ -5,6 +5,7 @@
 
 #include "bdd/isop.h"
 #include "circuits/circuits.h"
+#include "core/errors.h"
 
 namespace mfd::io {
 namespace {
@@ -17,31 +18,49 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
+/// std::stoi with a ParseError instead of std::invalid_argument/out_of_range.
+int parse_count(const std::string& token, const std::string& file, int line,
+                const char* directive) {
+  try {
+    std::size_t used = 0;
+    const int value = std::stoi(token, &used);
+    if (used != token.size() || value < 0)
+      throw std::invalid_argument(token);
+    return value;
+  } catch (const std::logic_error&) {
+    throw ParseError(file, line, std::string("pla: ") + directive +
+                                     " expects a non-negative count, got '" + token + "'");
+  }
+}
+
 }  // namespace
 
-PlaFile parse_pla(const std::string& text) {
+PlaFile parse_pla(const std::string& text, const std::string& filename) {
   PlaFile pla;
   bool saw_i = false, saw_o = false;
   std::istringstream is(text);
   std::string line;
+  int line_no = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     const std::size_t comment = line.find('#');
     if (comment != std::string::npos) line.erase(comment);
     const std::vector<std::string> tokens = tokenize(line);
     if (tokens.empty()) continue;
     const std::string& head = tokens.front();
     if (head == ".i") {
-      if (tokens.size() != 2) throw std::runtime_error("pla: malformed .i");
-      pla.num_inputs = std::stoi(tokens[1]);
+      if (tokens.size() != 2) throw ParseError(filename, line_no, "pla: malformed .i");
+      pla.num_inputs = parse_count(tokens[1], filename, line_no, ".i");
       saw_i = true;
     } else if (head == ".o") {
-      if (tokens.size() != 2) throw std::runtime_error("pla: malformed .o");
-      pla.num_outputs = std::stoi(tokens[1]);
+      if (tokens.size() != 2) throw ParseError(filename, line_no, "pla: malformed .o");
+      pla.num_outputs = parse_count(tokens[1], filename, line_no, ".o");
       saw_o = true;
     } else if (head == ".p") {
       // informational; ignored
     } else if (head == ".type") {
-      if (tokens.size() != 2) throw std::runtime_error("pla: malformed .type");
+      if (tokens.size() != 2)
+        throw ParseError(filename, line_no, "pla: malformed .type");
       pla.type = tokens[1];
     } else if (head == ".ilb") {
       pla.input_names.assign(tokens.begin() + 1, tokens.end());
@@ -50,9 +69,10 @@ PlaFile parse_pla(const std::string& text) {
     } else if (head == ".e" || head == ".end") {
       break;
     } else if (head[0] == '.') {
-      throw std::runtime_error("pla: unsupported directive " + head);
+      throw ParseError(filename, line_no, "pla: unsupported directive " + head);
     } else {
-      if (!saw_i || !saw_o) throw std::runtime_error("pla: cube before .i/.o");
+      if (!saw_i || !saw_o)
+        throw ParseError(filename, line_no, "pla: cube before .i/.o");
       std::string in, out;
       if (tokens.size() == 2) {
         in = tokens[0];
@@ -62,21 +82,22 @@ PlaFile parse_pla(const std::string& text) {
         in = tokens[0].substr(0, static_cast<std::size_t>(pla.num_inputs));
         out = tokens[0].substr(static_cast<std::size_t>(pla.num_inputs));
       } else {
-        throw std::runtime_error("pla: malformed cube line: " + line);
+        throw ParseError(filename, line_no, "pla: malformed cube line: " + line);
       }
       if (static_cast<int>(in.size()) != pla.num_inputs ||
           static_cast<int>(out.size()) != pla.num_outputs)
-        throw std::runtime_error("pla: cube width mismatch: " + line);
+        throw ParseError(filename, line_no, "pla: cube width mismatch: " + line);
       for (char ch : in)
         if (ch != '0' && ch != '1' && ch != '-')
-          throw std::runtime_error("pla: bad input character in: " + line);
+          throw ParseError(filename, line_no, "pla: bad input character in: " + line);
       for (char ch : out)
         if (ch != '0' && ch != '1' && ch != '-' && ch != '~')
-          throw std::runtime_error("pla: bad output character in: " + line);
+          throw ParseError(filename, line_no, "pla: bad output character in: " + line);
       pla.cubes.emplace_back(std::move(in), std::move(out));
     }
   }
-  if (!saw_i || !saw_o) throw std::runtime_error("pla: missing .i/.o");
+  // Line 0: the input as a whole is missing its mandatory header.
+  if (!saw_i || !saw_o) throw ParseError(filename, 0, "pla: missing .i/.o");
   return pla;
 }
 

@@ -26,8 +26,9 @@ struct PlaFile {
   std::vector<std::pair<std::string, std::string>> cubes;
 };
 
-/// Parses PLA text. Throws std::runtime_error on malformed input.
-PlaFile parse_pla(const std::string& text);
+/// Parses PLA text. Throws mfd::ParseError — carrying `filename` and the
+/// 1-based line number of the offending line — on malformed input.
+PlaFile parse_pla(const std::string& text, const std::string& filename = "<pla>");
 
 /// Serializes back to PLA text.
 std::string write_pla(const PlaFile& pla);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "core/budget.h"
+#include "core/faultinject.h"
 #include "obs/obs.h"
 
 namespace mfd {
@@ -33,6 +35,7 @@ bool better(const Candidate& x, const Candidate& y) {
 SymmetrizeStats symmetrize(std::vector<Isf>& fns, const std::vector<int>& vars,
                            const SymmetrizeOptions& opts) {
   SymmetrizeStats stats;
+  if (fault::armed()) fault::point("sym.symmetrize");
   const int limit = opts.max_applications > 0
                         ? opts.max_applications
                         : 3 * static_cast<int>(vars.size()) + 8;
@@ -48,8 +51,16 @@ SymmetrizeStats symmetrize(std::vector<Isf>& fns, const std::vector<int>& vars,
   // start of the next round picks up the remaining interactions. Batching
   // keeps the number of expensive scans proportional to the number of
   // "waves" instead of the number of applied pairs.
+  // Symmetrization is a pure optimization (step 1 of the DC assignment), so
+  // under an installed governor each round yields to an expired deadline:
+  // the pairs applied so far stand, the remaining waves are abandoned.
+  ResourceGovernor* gov = ResourceGovernor::current();
   int applied_total = 0;
   while (applied_total < limit) {
+    if (gov != nullptr && gov->deadline_expired()) {
+      obs::add("sym.symmetrize.rounds_abandoned");
+      break;
+    }
     std::vector<Candidate> candidates;
     for (std::size_t i = 0; i < vars.size(); ++i) {
       for (std::size_t j = i + 1; j < vars.size(); ++j) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/budget.h"
+#include "core/faultinject.h"
 #include "obs/obs.h"
 
 namespace mfd {
@@ -112,18 +114,36 @@ class ExactColorer {
 
 Coloring color_graph(const Graph& g, const ColoringOptions& opts) {
   obs::add("coloring.calls");
-  obs::add("coloring.dsatur_runs", static_cast<std::uint64_t>(opts.restarts));
+  if (fault::armed()) fault::point("util.coloring");
+  // Deadline/ladder awareness: under an installed governor, restarts stop as
+  // soon as the deadline passes, and the exact branch-and-bound is skipped
+  // entirely once the flow has degraded to greedy-only coloring (level >= 1)
+  // or the deadline has already expired. The first DSATUR pass always runs —
+  // a proper coloring is required for correctness, only optimality is traded.
+  ResourceGovernor* gov = ResourceGovernor::current();
   Rng rng(opts.seed);
   Coloring best = dsatur(g, rng);
+  std::uint64_t dsatur_runs = 1;
   for (int r = 1; r < opts.restarts; ++r) {
+    if (gov != nullptr && gov->deadline_expired()) {
+      obs::add("coloring.restarts_skipped", static_cast<std::uint64_t>(opts.restarts - r));
+      break;
+    }
     Coloring c = dsatur(g, rng);
+    ++dsatur_runs;
     if (c.num_colors < best.num_colors) best = c;
   }
+  obs::add("coloring.dsatur_runs", dsatur_runs);
   if (g.num_vertices() <= opts.exact_vertex_limit && g.num_vertices() > 0) {
-    obs::add("coloring.exact_runs");
-    ExactColorer exact(g);
-    Coloring c = exact.solve(best);
-    if (c.num_colors < best.num_colors) best = c;
+    if (gov != nullptr &&
+        (gov->degrade_level() >= kDegradeGreedyColoring || gov->deadline_expired())) {
+      obs::add("coloring.exact_skipped");
+    } else {
+      obs::add("coloring.exact_runs");
+      ExactColorer exact(g);
+      Coloring c = exact.solve(best);
+      if (c.num_colors < best.num_colors) best = c;
+    }
   }
   return best;
 }

@@ -11,6 +11,7 @@
 #include <numeric>
 
 #include "bdd/bdd.h"
+#include "core/errors.h"
 #include "testlib.h"
 #include "util/rng.h"
 
@@ -476,15 +477,29 @@ TEST(BddComplementEdges, ReactiveGcFiresUnderChurn) {
   EXPECT_EQ(m.sat_count(probe.id(), 16), std::ldexp(1.0, 15));
 }
 
-TEST(BddPreconditionsDeathTest, RestrictWithFalseCareAbortsLoudly) {
+TEST(BddPreconditions, RestrictWithFalseCareThrowsTypedError) {
   Manager m(3);
   const Bdd f = m.var(0);
-  EXPECT_DEATH((void)m.restrict_to(f.id(), bdd::kFalse), "care set is constant false");
+  try {
+    (void)m.restrict_to(f.id(), bdd::kFalse);
+    FAIL() << "restrict_to(care=0) did not throw";
+  } catch (const mfd::BddError& e) {
+    EXPECT_NE(std::string(e.what()).find("care set is constant false"), std::string::npos);
+  }
+  // The manager must remain fully usable after the throw.
+  const Bdd g = m.var(1) & f;
+  EXPECT_EQ(m.restrict_to(g.id(), m.bdd_true().id()), g.id());
+  EXPECT_EQ(m.sat_count(g.id(), 3), 2.0);
 }
 
-TEST(BddPreconditionsDeathTest, PickOneOnFalseAbortsLoudly) {
+TEST(BddPreconditions, PickOneOnFalseThrowsTypedError) {
   Manager m(3);
-  EXPECT_DEATH((void)m.pick_one(bdd::kFalse), "constant false");
+  EXPECT_THROW((void)m.pick_one(bdd::kFalse), mfd::BddError);
+  // Post-throw probe: pick_one still works on satisfiable functions.
+  const Bdd f = m.var(0) ^ m.var(2);
+  const std::vector<bool> one = m.pick_one(f.id());
+  ASSERT_EQ(one.size(), 3u);
+  EXPECT_NE(one[0], one[2]);
 }
 
 TEST(BddSoak, TransferUnderHeavyReordering) {

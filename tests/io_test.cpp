@@ -3,6 +3,7 @@
 
 #include "io/blif.h"
 #include "io/pla.h"
+#include "core/errors.h"
 #include "core/synthesizer.h"
 #include "net/baselines.h"
 #include "net/simulate.h"
@@ -83,6 +84,45 @@ TEST(Pla, RejectsMalformedInput) {
   EXPECT_THROW(parse_pla(".i 2\n.o 1\n.unknown\n"), std::runtime_error);
 }
 
+// Every malformed input must be reported as a ParseError carrying the file
+// name and the 1-based line number of the offending line.
+TEST(Pla, MalformedInputReportsFileAndLine) {
+  struct Case {
+    const char* text;
+    int line;  // expected 1-based line (0 = whole-file error)
+    const char* hint;
+  };
+  const Case corpus[] = {
+      {"11 1\n", 1, "cube before"},
+      {".i 2\n.o 1\n1 1\n", 3, "width mismatch"},
+      {".i 2\n\n.o 1\n\n1x 1\n", 5, "bad input character"},
+      {".i 2\n.o 1\n11 x\n", 3, "bad output character"},
+      {".i 2\n.o 1\n.unknown\n", 3, "unsupported directive"},
+      {".i 2\n.o nope\n11 1\n", 2, "non-negative count"},
+      {".i -3\n.o 1\n", 1, "non-negative count"},
+      {"# comment\n.i 2 2\n.o 1\n", 2, "malformed .i"},
+      {".i 2\n.o 1\n.type\n", 3, "malformed .type"},
+      {".i 2\n.o 1\n11 1 extra\n", 3, "malformed cube"},
+      {".i 2\n", 0, "missing .i/.o"},
+  };
+  for (const Case& c : corpus) {
+    try {
+      (void)parse_pla(c.text, "test.pla");
+      FAIL() << "accepted malformed input: " << c.text;
+    } catch (const mfd::ParseError& e) {
+      EXPECT_EQ(e.file(), "test.pla") << c.text;
+      EXPECT_EQ(e.line(), c.line) << c.text;
+      EXPECT_NE(std::string(e.what()).find(c.hint), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << c.hint << "'";
+      if (c.line > 0) {
+        EXPECT_NE(std::string(e.what()).find("test.pla:" + std::to_string(c.line)),
+                  std::string::npos)
+            << e.what();
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // BLIF
 // ---------------------------------------------------------------------------
@@ -131,6 +171,40 @@ TEST(Blif, RejectsUndefinedSignals) {
                std::runtime_error);
   EXPECT_THROW(parse_blif(".model x\n.inputs a\n.outputs f\n.end\n", m),
                std::runtime_error);
+}
+
+TEST(Blif, MalformedInputReportsFileAndLine) {
+  struct Case {
+    const char* text;
+    int line;  // expected 1-based line (0 = whole-model error)
+    const char* hint;
+  };
+  const Case corpus[] = {
+      {".model x\n.inputs a\n.outputs f\n.names q f\n1 1\n.end\n", 4, "undefined signal"},
+      {".model x\n.inputs a\n.outputs f\n.names\n.end\n", 4, "empty .names"},
+      {".model x\n.inputs a\n.outputs f\n.names a f\n11 1\n.end\n", 5, "cover width mismatch"},
+      {".model x\n.inputs a\n.outputs f\n.names a f\n1 2\n.end\n", 5, "bad output plane"},
+      {".model x\n.inputs a\n.outputs f\n.names a f\nz 1\n.end\n", 5, "bad cover character"},
+      {".model x\n.inputs a\n.outputs f\n.latch a f\n.end\n", 4, "unsupported directive"},
+      {".model x\n.model y\n.end\n", 2, "multiple models"},
+      {".model x\n.inputs a\nstray\n.end\n", 3, "stray line"},
+      {".model x\n.inputs a\n.outputs f\n.end\n", 0, "undriven output"},
+      // '\' continuation: the error points at the line that OPENED it.
+      {".model x\n.inputs a\n.outputs f\n.names a \\\n  q f\n1- 1\n.end\n", 4,
+       "undefined signal"},
+  };
+  for (const Case& c : corpus) {
+    Manager m;
+    try {
+      (void)parse_blif(c.text, m, "test.blif");
+      FAIL() << "accepted malformed input: " << c.text;
+    } catch (const mfd::ParseError& e) {
+      EXPECT_EQ(e.file(), "test.blif") << c.text;
+      EXPECT_EQ(e.line(), c.line) << c.text;
+      EXPECT_NE(std::string(e.what()).find(c.hint), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << c.hint << "'";
+    }
+  }
 }
 
 TEST(Blif, WriteParseRoundTripPreservesFunctions) {

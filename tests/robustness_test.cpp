@@ -1,0 +1,345 @@
+// Robustness suite: the resource governor, the typed error taxonomy, the
+// degradation ladder, and the fault-injection harness (docs/ROBUSTNESS.md).
+//
+// The contract under test: every budget trip and every injected fault either
+// (a) recovers through the degradation ladder — the flow still returns a
+// *verified* LUT network and reports which rung it finished on — or
+// (b) surfaces a typed mfd::Error, with the BDD manager and the obs registry
+// left in a usable state. Nothing may crash or abort.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "circuits/circuits.h"
+#include "core/budget.h"
+#include "core/errors.h"
+#include "core/faultinject.h"
+#include "core/synthesizer.h"
+#include "obs/obs.h"
+
+namespace mfd {
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+
+// ---------------------------------------------------------------------------
+// ResourceGovernor unit tests
+// ---------------------------------------------------------------------------
+
+TEST(ResourceGovernor, OpCeilingTripsWithTypedError) {
+  ResourceBudget b;
+  b.op_ceiling = 100;
+  ResourceGovernor gov(b);
+  try {
+    for (int i = 0; i < 200; ++i) gov.charge_mk(0);
+    FAIL() << "op ceiling never tripped";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.resource(), BudgetExceeded::Resource::kOps);
+    EXPECT_EQ(e.where(), "bdd.mk");
+  }
+}
+
+TEST(ResourceGovernor, NodeCeilingTripsWithTypedError) {
+  ResourceBudget b;
+  b.node_ceiling = 50;
+  ResourceGovernor gov(b);
+  gov.charge_mk(50);  // at the ceiling: fine
+  try {
+    gov.charge_mk(51);
+    FAIL() << "node ceiling never tripped";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.resource(), BudgetExceeded::Resource::kNodes);
+  }
+}
+
+TEST(ResourceGovernor, DepthBudget) {
+  ResourceBudget b;
+  b.max_depth = 4;
+  ResourceGovernor gov(b);
+  gov.check_depth(4, "test");  // at the bound: fine
+  try {
+    gov.check_depth(5, "test");
+    FAIL() << "depth budget never tripped";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.resource(), BudgetExceeded::Resource::kDepth);
+    EXPECT_EQ(e.where(), "test");
+  }
+}
+
+TEST(ResourceGovernor, ForceExpireFiresDeadlineChecks) {
+  ResourceGovernor gov;  // unlimited budget
+  EXPECT_FALSE(gov.deadline_expired());
+  gov.check_deadline("test");  // no deadline: no-op
+  gov.force_expire();
+  EXPECT_TRUE(gov.deadline_expired());
+  try {
+    gov.check_deadline("test");
+    FAIL() << "expired deadline did not fire";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.resource(), BudgetExceeded::Resource::kTime);
+  }
+}
+
+TEST(ResourceGovernor, SuspendScopeDisablesEveryCheck) {
+  ResourceBudget b;
+  b.op_ceiling = 1;
+  b.node_ceiling = 1;
+  b.max_depth = 1;
+  ResourceGovernor gov(b);
+  gov.force_expire();
+  {
+    ResourceGovernor::SuspendScope suspend(gov);
+    EXPECT_TRUE(gov.suspended());
+    EXPECT_FALSE(gov.deadline_expired());
+    for (int i = 0; i < 100; ++i) gov.charge_mk(1000);  // would trip everything
+    gov.check_deadline("test");
+    gov.check_depth(100, "test");
+  }
+  EXPECT_FALSE(gov.suspended());
+  EXPECT_EQ(gov.report().suspended_sections, 1u);
+  EXPECT_THROW(gov.check_deadline("test"), BudgetExceeded);
+}
+
+TEST(ResourceGovernor, DegradeLadderIsMonotoneAndRecorded) {
+  ResourceGovernor gov;
+  EXPECT_EQ(gov.degrade_level(), kDegradeFull);
+  gov.raise_degrade(kDegradeNoDcSteps, "test.phase", "because");
+  gov.raise_degrade(kDegradeGreedyColoring, "test.phase", "ignored downgrade");
+  EXPECT_EQ(gov.degrade_level(), kDegradeNoDcSteps);
+  ASSERT_EQ(gov.report().events.size(), 1u);
+  EXPECT_EQ(gov.report().events[0].from_level, kDegradeFull);
+  EXPECT_EQ(gov.report().events[0].to_level, kDegradeNoDcSteps);
+  EXPECT_EQ(gov.report().events[0].phase, "test.phase");
+  EXPECT_TRUE(gov.report().degraded());
+}
+
+TEST(ResourceGovernor, ScopeInstallsAndRestoresThreadLocal) {
+  EXPECT_EQ(ResourceGovernor::current(), nullptr);
+  ResourceGovernor outer;
+  {
+    ResourceGovernor::Scope s1(outer);
+    EXPECT_EQ(ResourceGovernor::current(), &outer);
+    ResourceGovernor inner;
+    {
+      ResourceGovernor::Scope s2(inner);
+      EXPECT_EQ(ResourceGovernor::current(), &inner);
+    }
+    EXPECT_EQ(ResourceGovernor::current(), &outer);
+  }
+  EXPECT_EQ(ResourceGovernor::current(), nullptr);
+}
+
+TEST(ResourceGovernor, ManagerTripsNodeCeilingAndSurvives) {
+  Manager m;
+  ResourceBudget b;
+  b.node_ceiling = 64;
+  ResourceGovernor gov(b);
+  m.set_governor(&gov);
+  try {
+    (void)circuits::build("mult4", m);  // far more than 64 nodes
+    FAIL() << "node ceiling never tripped";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.resource(), BudgetExceeded::Resource::kNodes);
+  }
+  m.set_governor(nullptr);
+  // The manager must be fully usable after the mid-operation throw: the
+  // aborted operation's intermediates are dead roots for the next GC.
+  m.garbage_collect();
+  const Bdd parity = m.var(0) ^ m.var(1) ^ m.var(2) ^ m.var(3);
+  EXPECT_EQ(m.sat_count(parity.id(), 4), 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection harness
+// ---------------------------------------------------------------------------
+
+class FaultInjection : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::clear(); }
+};
+
+TEST_F(FaultInjection, MalformedSpecsThrowParseErrorAndKeepPreviousSpec) {
+  fault::configure("bdd.mk@1000");
+  EXPECT_TRUE(fault::armed());
+  const char* bad[] = {"bdd.mk",          // missing @k
+                       "bdd.mk@0",        // k must be >= 1
+                       "bdd.mk@x",        // k not a number
+                       "@3",              // empty site
+                       "bdd.mk@1:weird"}; // unknown kind
+  for (const char* spec : bad) {
+    try {
+      fault::configure(spec);
+      FAIL() << "accepted malformed spec: " << spec;
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.file(), "<fault-spec>") << spec;
+      EXPECT_GE(e.line(), 1) << spec;
+    }
+    EXPECT_TRUE(fault::armed()) << "previous spec lost after: " << spec;
+  }
+  fault::clear();
+  EXPECT_FALSE(fault::armed());
+}
+
+TEST_F(FaultInjection, FiresAtTheKthHitExactlyOnce) {
+  fault::configure("bdd.mk@3:budget");
+  Manager m(4);
+  int threw_at = 0;
+  for (int i = 1; i <= 8 && threw_at == 0; ++i) {
+    try {
+      (void)(m.var(i % 4) & m.var((i + 1) % 4));  // at least one mk each
+    } catch (const BudgetExceeded& e) {
+      EXPECT_EQ(e.resource(), BudgetExceeded::Resource::kInjected);
+      threw_at = i;
+    }
+  }
+  EXPECT_GT(threw_at, 0) << "rule never fired";
+  // One-shot: subsequent operations run clean, manager intact.
+  const Bdd f = m.var(0) & m.var(1) & m.var(2);
+  EXPECT_EQ(m.sat_count(f.id(), 4), 2.0);
+}
+
+TEST_F(FaultInjection, TimeoutKindWithoutGovernorThrowsTyped) {
+  fault::configure("bdd.mk@1:timeout");
+  Manager m(3);
+  EXPECT_THROW((void)(m.var(0) | m.var(1)), BudgetExceeded);
+  // Disarmed after firing; the manager still works.
+  EXPECT_EQ((m.var(0) | m.var(1)).is_false(), false);
+}
+
+TEST_F(FaultInjection, AllocKindThrowsBadAlloc) {
+  fault::configure("bdd.alloc@1:alloc");
+  Manager m(3);
+  EXPECT_THROW((void)(m.var(0) ^ m.var(2)), std::bad_alloc);
+  EXPECT_EQ(m.sat_count((m.var(0) ^ m.var(2)).id(), 3), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: injected faults recover through the degradation ladder
+// ---------------------------------------------------------------------------
+
+SynthesisResult run_circuit(const std::string& name, const ResourceBudget& budget = {},
+                            const std::string& spec = {}) {
+  bdd::Manager m;
+  const circuits::Benchmark bench = circuits::build(name, m);
+  if (!spec.empty()) fault::configure(spec);
+  SynthesisOptions opts = preset_mulop_dc(5);
+  opts.budget = budget;
+  return Synthesizer(opts).run(bench);
+}
+
+// Every instrumented site, hit early with the default (budget) fault: the
+// ladder must absorb it and still deliver a verified network.
+TEST_F(FaultInjection, EverySiteRecoversThroughTheLadder) {
+  const char* specs[] = {
+      "bdd.mk@1:budget",         "bdd.mk@5000:budget", "bdd.alloc@10:alloc",
+      "bdd.ite@500:budget",      "util.coloring@1:budget",
+      "util.coloring@1:timeout", "sym.symmetrize@1:budget",
+      "decomp.boundset@1:budget", "decomp.boundset@2:timeout",
+      "decomp.dc_assign@1:budget",
+  };
+  for (const char* spec : specs) {
+    fault::clear();
+    const SynthesisResult r = run_circuit("rd73", {}, spec);
+    EXPECT_TRUE(r.verified) << spec;
+    EXPECT_GT(r.network.count_luts(), 0) << spec;
+    EXPECT_EQ(r.degradation.per_output_level.size(), 3u) << spec;
+    if (r.report.counters.count("fault.fired") != 0u) {
+      // The fault fired in-flow, so the ladder must have moved (budget/alloc
+      // kinds) or the deadline cut optimization short (timeout kind).
+      EXPECT_GE(r.report.counters.at("fault.fired"), 1u) << spec;
+    }
+  }
+  fault::clear();
+  // Flow state intact: a clean run right after the fault storm is pristine.
+  const SynthesisResult clean = run_circuit("rd73");
+  EXPECT_TRUE(clean.verified);
+  EXPECT_FALSE(clean.degradation.degraded());
+  EXPECT_TRUE(clean.degradation.events.empty());
+}
+
+// A fault firing *before* the ladder exists (here: during the benchmark's
+// ISF conversion, ahead of decompose) cannot recover — but it must surface
+// as a typed error, never a crash, and leave the flow reusable.
+TEST_F(FaultInjection, FaultOutsideTheLadderSurfacesTypedError) {
+  try {
+    (void)run_circuit("rd73", {}, "bdd.ite@1:budget");
+    // Acceptable: the first ite happened inside the ladder and recovered.
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.resource(), BudgetExceeded::Resource::kInjected);
+  }
+  fault::clear();
+  const SynthesisResult clean = run_circuit("rd73");
+  EXPECT_TRUE(clean.verified);
+}
+
+TEST_F(FaultInjection, InjectedBudgetFaultIsAttributedInTheReport) {
+  const SynthesisResult r = run_circuit("rd73", {}, "bdd.mk@100:budget");
+  ASSERT_TRUE(r.verified);
+  ASSERT_TRUE(r.degradation.degraded());
+  ASSERT_FALSE(r.degradation.events.empty());
+  EXPECT_EQ(r.degradation.events[0].from_level, kDegradeFull);
+  EXPECT_NE(r.degradation.events[0].reason.find("injected"), std::string::npos);
+  EXPECT_GE(r.report.counters.at("fault.fired"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tight budgets: degrade, never crash
+// ---------------------------------------------------------------------------
+
+TEST(TightBudget, NodeCeilingStillYieldsVerifiedNetwork) {
+  ResourceBudget b;
+  b.node_ceiling = 2000;
+  const SynthesisResult r = run_circuit("rd84", b);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.network.count_luts(), 0);
+  EXPECT_EQ(r.degradation.per_output_level.size(), 4u);
+  for (int level : r.degradation.per_output_level) {
+    EXPECT_GE(level, kDegradeFull);
+    EXPECT_LE(level, kDegradeStructural);
+  }
+}
+
+TEST(TightBudget, TimeBudgetStillYieldsVerifiedNetwork) {
+  ResourceBudget b;
+  b.time_ms = 1.0;  // brutally tight: forces the ladder to its floor
+  const SynthesisResult r = run_circuit("rd84", b);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.network.count_luts(), 0);
+}
+
+TEST(TightBudget, DepthBudgetStillYieldsVerifiedNetwork) {
+  ResourceBudget b;
+  b.max_depth = 1;
+  const SynthesisResult r = run_circuit("rd73", b);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(TightBudget, UnlimitedBudgetDoesNotDegrade) {
+  const SynthesisResult r = run_circuit("rd73");
+  EXPECT_TRUE(r.verified);
+  EXPECT_FALSE(r.degradation.degraded());
+  EXPECT_EQ(r.degradation.final_level, kDegradeFull);
+  for (int level : r.degradation.per_output_level) EXPECT_EQ(level, kDegradeFull);
+}
+
+// Standalone decompose() (no synthesizer, no explicit governor) installs its
+// own unlimited governor, so injected faults recover through the same ladder.
+TEST_F(FaultInjection, StandaloneDecomposeRecovers) {
+  bdd::Manager m;
+  const circuits::Benchmark bench = circuits::build("rd73", m);
+  std::vector<Isf> spec;
+  for (const Bdd& f : bench.outputs) spec.push_back(Isf::completely_specified(f));
+  std::vector<int> pis;
+  for (int i = 0; i < bench.num_inputs; ++i) pis.push_back(i);
+  fault::configure("decomp.boundset@1:budget");
+  DecomposeStats stats;
+  const net::LutNetwork net = decompose(spec, pis, preset_mulop_dc(5).decomp, &stats);
+  EXPECT_GT(net.count_luts(), 0);
+  EXPECT_EQ(stats.output_degrade_level.size(), spec.size());
+}
+
+}  // namespace
+}  // namespace mfd
