@@ -11,12 +11,16 @@
 //   --time-budget-ms <n>   wall-clock budget per synthesis run
 //   --node-budget <n>      BDD node ceiling per synthesis run
 //   --fault-inject <spec>  fault-injection rules (see core/faultinject.h)
+//   --jobs <n>             threads for bound-set candidate evaluation
+//                          (1 = serial; any value gives identical results,
+//                          see docs/PARALLELISM.md)
 // Budget overruns do not crash: the flow degrades (see docs/ROBUSTNESS.md)
 // and the --stats-json record carries the DegradationReport.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +47,7 @@ struct FlowRun {
   int depth = 0;
   DecomposeStats stats;
   double seconds = 0.0;
+  int jobs = 1;  ///< bound-set evaluation threads this run used
   bool verified = false;
   DegradationReport degradation;  ///< which ladder levels this run hit
   /// Non-empty when the run died on a typed error (e.g. a fault injected
@@ -58,6 +63,7 @@ struct StatsSink {
   std::string binary;  // argv[0] basename
   std::vector<std::string> rows;  // pre-serialized FlowRun objects
   ResourceBudget budget;  // from --time-budget-ms / --node-budget
+  int jobs = 1;           // from --jobs
 };
 
 inline StatsSink& sink() {
@@ -78,6 +84,7 @@ inline std::string flow_run_json(const FlowRun& row) {
   w.key("gates").value(row.gates);
   w.key("depth").value(row.depth);
   w.key("seconds").value(row.seconds);
+  w.key("jobs").value(row.jobs);
   w.key("decompose").begin_object();
   w.key("steps").value(row.stats.decomposition_steps);
   w.key("shannon_fallbacks").value(row.stats.shannon_fallbacks);
@@ -133,6 +140,7 @@ inline long parse_flag_count(const char* flag, const char* value) {
 ///   --time-budget-ms <n>     per-run wall-clock budget (0 = unlimited)
 ///   --node-budget <n>        per-run BDD node ceiling (0 = unlimited)
 ///   --fault-inject <spec>    arm fault-injection rules (core/faultinject.h)
+///   --jobs <n>               bound-set evaluation threads (default 1)
 /// All flags also accept the --flag=value spelling. A malformed fault spec
 /// or count exits with status 2 rather than running unprotected.
 inline void init_stats(int* argc, char** argv) {
@@ -149,6 +157,8 @@ inline void init_stats(int* argc, char** argv) {
     } else if (std::strcmp(flag, "--node-budget") == 0) {
       s.budget.node_ceiling =
           static_cast<std::size_t>(detail::parse_flag_count(flag, value));
+    } else if (std::strcmp(flag, "--jobs") == 0) {
+      s.jobs = std::max(1, static_cast<int>(detail::parse_flag_count(flag, value)));
     } else {  // --fault-inject
       try {
         fault::configure(value);
@@ -159,7 +169,8 @@ inline void init_stats(int* argc, char** argv) {
     }
   };
   static constexpr const char* kFlags[] = {"--stats-json", "--time-budget-ms",
-                                           "--node-budget", "--fault-inject"};
+                                           "--node-budget", "--fault-inject",
+                                           "--jobs"};
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const char* arg = argv[i];
@@ -184,6 +195,9 @@ inline void init_stats(int* argc, char** argv) {
 
 /// The budget requested on the command line ({} when none was given).
 inline const ResourceBudget& cli_budget() { return detail::sink().budget; }
+
+/// The --jobs value from the command line (1 when not given).
+inline int cli_jobs() { return detail::sink().jobs; }
 
 /// Records a completed flow run for --stats-json output (no-op when the flag
 /// was not given). run_flow() calls this automatically.
@@ -236,6 +250,8 @@ inline FlowRun run_flow(const std::string& name, const SynthesisOptions& opts,
     const ResourceBudget& cli = cli_budget();
     if (cli.time_ms > 0.0) governed.budget.time_ms = cli.time_ms;
     if (cli.node_ceiling != 0) governed.budget.node_ceiling = cli.node_ceiling;
+    governed.decomp.boundset.jobs = cli_jobs();
+    row.jobs = cli_jobs();
     Synthesizer synth(governed);
     const SynthesisResult r = synth.run(bench);
     row.inputs = bench.num_inputs;

@@ -18,15 +18,25 @@ const char* degrade_level_name(int level) {
   return "?";
 }
 
+std::int64_t ResourceGovernor::now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 ResourceGovernor::ResourceGovernor(const ResourceBudget& budget)
     : budget_(budget),
       start_(std::chrono::steady_clock::now()),
       op_ceiling_(budget.op_ceiling),
       node_ceiling_(budget.node_ceiling) {
   if (budget.time_ms > 0.0) {
-    has_deadline_ = true;
-    deadline_ = start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                             std::chrono::duration<double, std::milli>(budget.time_ms));
+    const auto deadline =
+        start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(budget.time_ms));
+    deadline_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           deadline.time_since_epoch())
+                           .count(),
+                       std::memory_order_relaxed);
   }
 }
 
@@ -37,13 +47,22 @@ double ResourceGovernor::elapsed_ms() const {
 }
 
 bool ResourceGovernor::deadline_expired() const noexcept {
-  if (suspend_ != 0 || !has_deadline_) return false;
-  return std::chrono::steady_clock::now() >= deadline_;
+  if (suspend_.load(std::memory_order_relaxed) != 0) return false;
+  if (forced_expire_.load(std::memory_order_relaxed)) return true;
+  const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+  return dl != kNoDeadline && now_ns() >= dl;
 }
 
 void ResourceGovernor::check_deadline(const char* where) {
-  if (suspend_ != 0 || !has_deadline_) return;
-  if (std::chrono::steady_clock::now() < deadline_) return;
+  if (suspend_.load(std::memory_order_relaxed) != 0) return;
+  if (forced_expire_.load(std::memory_order_relaxed)) {
+    obs::add("budget.exceeded_time");
+    throw BudgetExceeded(BudgetExceeded::Resource::kTime, where,
+                         "deadline forced by fault injection (elapsed " +
+                             std::to_string(elapsed_ms()) + " ms)");
+  }
+  const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+  if (dl == kNoDeadline || now_ns() < dl) return;
   obs::add("budget.exceeded_time");
   throw BudgetExceeded(BudgetExceeded::Resource::kTime, where,
                        "deadline of " + std::to_string(budget_.time_ms) +
@@ -52,7 +71,7 @@ void ResourceGovernor::check_deadline(const char* where) {
 }
 
 void ResourceGovernor::check_depth(int depth, const char* where) {
-  if (suspend_ != 0 || budget_.max_depth == 0) return;
+  if (suspend_.load(std::memory_order_relaxed) != 0 || budget_.max_depth == 0) return;
   if (depth <= budget_.max_depth) return;
   obs::add("budget.exceeded_depth");
   throw BudgetExceeded(BudgetExceeded::Resource::kDepth, where,
@@ -61,13 +80,15 @@ void ResourceGovernor::check_depth(int depth, const char* where) {
 }
 
 void ResourceGovernor::force_expire() noexcept {
-  has_deadline_ = true;
-  deadline_ = start_;
-  if (budget_.time_ms <= 0.0) budget_.time_ms = 0.001;  // report a real deadline
+  // A flag rather than moving deadline_ns_: budget_ stays immutable (readers
+  // may hold references from other threads) and the trip message attributes
+  // the expiry to fault injection instead of a fictitious 0 ms budget.
+  forced_expire_.store(true, std::memory_order_relaxed);
 }
 
 void ResourceGovernor::raise_degrade(int to_level, const std::string& phase,
                                      const std::string& reason) {
+  std::lock_guard<std::mutex> lock(degrade_mu_);
   if (to_level <= report_.final_level) return;
   DegradeEvent ev;
   ev.from_level = report_.final_level;
@@ -76,6 +97,7 @@ void ResourceGovernor::raise_degrade(int to_level, const std::string& phase,
   ev.reason = reason;
   report_.events.push_back(std::move(ev));
   report_.final_level = to_level;
+  degrade_level_.store(to_level, std::memory_order_relaxed);
   obs::add("budget.degrade_events");
   obs::add(std::string("budget.degrade_to_") + degrade_level_name(to_level));
   obs::gauge_max("budget.degrade_level", to_level);
@@ -84,7 +106,7 @@ void ResourceGovernor::raise_degrade(int to_level, const std::string& phase,
 void ResourceGovernor::overrun_ops() {
   obs::add("budget.exceeded_ops");
   throw BudgetExceeded(BudgetExceeded::Resource::kOps, "bdd.mk",
-                       std::to_string(ops_used_) + " operations exceed budget " +
+                       std::to_string(ops_used()) + " operations exceed budget " +
                            std::to_string(op_ceiling_));
 }
 

@@ -28,13 +28,26 @@
 //   emission must complete, and that is recorded in the report.
 // * Deadline checks in the `mk` hot path are strided (one clock read per
 //   ~2048 operations) so governed runs stay within noise of ungoverned ones.
+// * One governor may be shared by several threads (the bound-set worker
+//   pool installs the flow's governor in each worker's TLS `Scope` and binds
+//   it to each per-worker bdd::Manager): the op counter, the deadline, and
+//   the suspension count are atomics, so concurrent `charge_mk` calls all
+//   draw from the same budget and any worker can trip it. Which worker trips
+//   first depends on scheduling — budgets bound *effort*, never results, so
+//   this is deliberate (see docs/PARALLELISM.md). The degradation ladder
+//   (`raise_degrade`, `report()`) is only ever driven from the flow thread,
+//   after the pool has drained; workers read `degrade_level()` through a
+//   relaxed atomic.
 // * This header depends only on core/errors.h and the standard library, so
 //   the low-level modules (bdd, util, sym) can include it without cycles.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -99,17 +112,16 @@ class ResourceGovernor {
   // ---- hot path ---------------------------------------------------------
   /// One counted BDD operation (called from bdd::Manager::mk with the
   /// current node population). Throws BudgetExceeded on any tripped budget;
-  /// a no-op while suspended.
+  /// a no-op while suspended. Safe to call concurrently from pool workers:
+  /// all threads draw from the one shared op counter, and the deadline is
+  /// probed once every kDeadlineStride *global* operations.
   void charge_mk(std::size_t node_population) {
-    if (suspend_ != 0) return;
-    ++ops_used_;
-    if (op_ceiling_ != 0 && ops_used_ > op_ceiling_) overrun_ops();
+    if (suspend_.load(std::memory_order_relaxed) != 0) return;
+    const std::uint64_t ops = ops_used_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (op_ceiling_ != 0 && ops > op_ceiling_) overrun_ops();
     if (node_ceiling_ != 0 && node_population > node_ceiling_)
       overrun_nodes(node_population);
-    if (--deadline_countdown_ <= 0) {
-      deadline_countdown_ = kDeadlineStride;
-      check_deadline("bdd");
-    }
+    if ((ops & (kDeadlineStride - 1)) == 0) check_deadline("bdd");
   }
 
   // ---- explicit checkpoints --------------------------------------------
@@ -128,7 +140,7 @@ class ResourceGovernor {
   void force_expire() noexcept;
 
   // ---- degradation ladder ----------------------------------------------
-  int degrade_level() const { return report_.final_level; }
+  int degrade_level() const { return degrade_level_.load(std::memory_order_relaxed); }
   /// Monotonically raises the ladder level, recording the event (and obs
   /// counters). Lower-or-equal levels are ignored.
   void raise_degrade(int to_level, const std::string& phase, const std::string& reason);
@@ -139,24 +151,29 @@ class ResourceGovernor {
   class SuspendScope {
    public:
     explicit SuspendScope(ResourceGovernor& g) : g_(g) {
-      ++g_.suspend_;
-      ++g_.report_.suspended_sections;
+      g_.suspend_.fetch_add(1, std::memory_order_relaxed);
+      g_.suspended_sections_.fetch_add(1, std::memory_order_relaxed);
     }
-    ~SuspendScope() { --g_.suspend_; }
+    ~SuspendScope() { g_.suspend_.fetch_sub(1, std::memory_order_relaxed); }
     SuspendScope(const SuspendScope&) = delete;
     SuspendScope& operator=(const SuspendScope&) = delete;
 
    private:
     ResourceGovernor& g_;
   };
-  bool suspended() const { return suspend_ != 0; }
+  bool suspended() const { return suspend_.load(std::memory_order_relaxed) != 0; }
 
   // ---- queries ----------------------------------------------------------
+  // Ladder/report accessors are flow-thread-only by contract: they are
+  // called before the pool starts or after it has drained.
   const ResourceBudget& budget() const { return budget_; }
-  std::uint64_t ops_used() const { return ops_used_; }
+  std::uint64_t ops_used() const { return ops_used_.load(std::memory_order_relaxed); }
   double elapsed_ms() const;
   /// Snapshot of the ladder state (per_output_level is filled by the flow).
-  const DegradationReport& report() const { return report_; }
+  const DegradationReport& report() const {
+    report_.suspended_sections = suspended_sections_.load(std::memory_order_relaxed);
+    return report_;
+  }
   void set_per_output_levels(std::vector<int> levels) {
     report_.per_output_level = std::move(levels);
   }
@@ -180,19 +197,32 @@ class ResourceGovernor {
  private:
   [[noreturn]] void overrun_ops();
   [[noreturn]] void overrun_nodes(std::size_t population);
+  /// Steady-clock now as ns-since-epoch (the representation deadline_ns_ uses).
+  static std::int64_t now_ns() noexcept;
 
-  static constexpr int kDeadlineStride = 2048;
+  // Must stay a power of two: the hot path masks the global op count with it.
+  static constexpr std::uint64_t kDeadlineStride = 2048;
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
 
   ResourceBudget budget_;
   std::chrono::steady_clock::time_point start_;
-  std::chrono::steady_clock::time_point deadline_;
-  bool has_deadline_ = false;
-  std::uint64_t op_ceiling_ = 0;
-  std::size_t node_ceiling_ = 0;
-  std::uint64_t ops_used_ = 0;
-  int deadline_countdown_ = kDeadlineStride;
-  int suspend_ = 0;
-  DegradationReport report_;
+  /// Deadline as steady-clock ns-since-epoch; kNoDeadline when unlimited.
+  /// Atomic so force_expire (fault injection) can move it under running
+  /// workers without a data race.
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+  /// Set by force_expire: the next deadline check throws with a message
+  /// attributing the trip to fault injection instead of the real budget.
+  std::atomic<bool> forced_expire_{false};
+  std::uint64_t op_ceiling_ = 0;   // immutable after construction
+  std::size_t node_ceiling_ = 0;   // immutable after construction
+  std::atomic<std::uint64_t> ops_used_{0};
+  std::atomic<int> suspend_{0};
+  std::atomic<std::uint64_t> suspended_sections_{0};
+  /// Relaxed mirror of report_.final_level, readable from workers.
+  std::atomic<int> degrade_level_{kDegradeFull};
+  std::mutex degrade_mu_;  // serializes raise_degrade (defensive; flow-only today)
+  mutable DegradationReport report_;
 };
 
 }  // namespace mfd

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <new>
 #include <vector>
@@ -19,19 +20,39 @@ struct Rule {
   std::string site;
   std::uint64_t at = 0;  // 1-based hit count
   Kind kind = Kind::kBudget;
-  bool fired = false;
 };
 
-struct SiteCount {
-  std::string site;
-  std::uint64_t hits = 0;
+// One instrumented site of the active configuration. Hit counting and the
+// one-shot latches are atomics: when a site fires from several pool workers
+// at once, fetch_add hands every hit a unique ordinal, so exactly one thread
+// sees `ordinal == rule.at` and the rule trips exactly once — `site@k` stays
+// deterministic regardless of interleaving. (`fired` is a belt-and-braces
+// latch; the ordinal alone already guarantees uniqueness.)
+struct Site {
+  std::string name;
+  std::atomic<std::uint64_t> hits{0};
+  struct Armed {
+    std::uint64_t at = 0;
+    Kind kind = Kind::kBudget;
+    std::atomic<bool> fired{false};
+  };
+  std::vector<std::unique_ptr<Armed>> rules;  // immutable after configure
 };
 
-// All mutable state behind one mutex; the hot path never takes it because
-// point() is gated on the armed flag.
+// The active configuration, replaced wholesale by configure()/clear(). The
+// mutex guards only the pointer swap; point_slow copies the shared_ptr and
+// then counts lock-free, so a reconfigure can never free state under a
+// running worker.
+struct Config {
+  std::vector<std::unique_ptr<Site>> sites;
+};
 std::mutex g_mutex;
-std::vector<Rule> g_rules;
-std::vector<SiteCount> g_counts;
+std::shared_ptr<const Config> g_config;
+
+std::shared_ptr<const Config> config_snapshot() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_config;
+}
 
 Kind parse_kind(const std::string& s, int rule_index) {
   if (s == "budget") return Kind::kBudget;
@@ -101,28 +122,24 @@ void init_from_env_once() {
 }
 
 void point_slow(const char* site) {
-  Kind fire = Kind::kBudget;
-  bool fired = false;
-  {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    SiteCount* count = nullptr;
-    for (SiteCount& c : g_counts)
-      if (c.site == site) {
-        count = &c;
-        break;
-      }
-    if (count == nullptr) {
-      g_counts.push_back(SiteCount{site, 0});
-      count = &g_counts.back();
-    }
-    ++count->hits;
-    for (Rule& r : g_rules) {
-      if (r.fired || r.site != site || r.at != count->hits) continue;
-      r.fired = true;
-      fire = r.kind;
-      fired = true;
+  const std::shared_ptr<const Config> config = config_snapshot();
+  if (config == nullptr) return;
+  Site* found = nullptr;
+  for (const std::unique_ptr<Site>& s : config->sites)
+    if (s->name == site) {
+      found = s.get();
       break;
     }
+  if (found == nullptr) return;  // no rule mentions this site: don't count it
+  const std::uint64_t ordinal = found->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  Kind fire = Kind::kBudget;
+  bool fired = false;
+  for (const auto& r : found->rules) {
+    if (r->at != ordinal) continue;
+    if (r->fired.exchange(true, std::memory_order_relaxed)) continue;
+    fire = r->kind;
+    fired = true;
+    break;
   }
   if (!fired) return;
   obs::add("fault.fired");
@@ -147,16 +164,33 @@ void point_slow(const char* site) {
 
 void configure(const std::string& spec) {
   std::vector<Rule> rules = parse_spec(spec);  // may throw; old spec stays armed
+  auto config = std::make_shared<Config>();
+  for (Rule& r : rules) {
+    Site* site = nullptr;
+    for (const std::unique_ptr<Site>& s : config->sites)
+      if (s->name == r.site) {
+        site = s.get();
+        break;
+      }
+    if (site == nullptr) {
+      config->sites.push_back(std::make_unique<Site>());
+      site = config->sites.back().get();
+      site->name = r.site;
+    }
+    auto armed = std::make_unique<Site::Armed>();
+    armed->at = r.at;
+    armed->kind = r.kind;
+    site->rules.push_back(std::move(armed));
+  }
+  const bool any = !config->sites.empty();
   std::lock_guard<std::mutex> lock(g_mutex);
-  g_rules = std::move(rules);
-  g_counts.clear();
-  detail::g_armed.store(!g_rules.empty(), std::memory_order_relaxed);
+  g_config = std::move(config);
+  detail::g_armed.store(any, std::memory_order_relaxed);
 }
 
 void clear() {
   std::lock_guard<std::mutex> lock(g_mutex);
-  g_rules.clear();
-  g_counts.clear();
+  g_config = nullptr;
   detail::g_armed.store(false, std::memory_order_relaxed);
 }
 

@@ -1,13 +1,19 @@
 #include "decomp/boundset.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <utility>
 
 #include "core/budget.h"
 #include "core/faultinject.h"
 #include "decomp/compat.h"
 #include "obs/obs.h"
 #include "util/coloring.h"
+#include "util/threadpool.h"
 
 namespace mfd {
 namespace {
@@ -23,35 +29,30 @@ int quick_class_count(const CofactorTable& table, std::uint64_t seed) {
       break;
     }
   if (complete) {
-    std::vector<bdd::Edge> ids;
-    ids.reserve(table.entries.size());
-    for (const Isf& e : table.entries) ids.push_back(e.on().id());
-    std::sort(ids.begin(), ids.end());
-    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-    return static_cast<int>(ids.size());
+    std::unordered_set<bdd::Edge> distinct;
+    distinct.reserve(table.entries.size());
+    for (const Isf& e : table.entries) distinct.insert(e.on().id());
+    return static_cast<int>(distinct.size());
   }
-  // Dedupe by (on, care) identity first.
-  std::vector<std::pair<bdd::Edge, bdd::Edge>> keys;
-  keys.reserve(table.entries.size());
-  std::vector<int> rep;
+  // Dedupe by (on, care) identity first. Dense class ids are handed out in
+  // first-seen vertex order — a structural order (cofactor enumeration is
+  // fixed by the bound set), so the incompatibility graph below and hence
+  // the coloring are identical across managers and runs.
+  std::map<std::pair<bdd::Edge, bdd::Edge>, int> key_to_id;
   std::vector<int> rep_vertex;
   for (std::size_t v = 0; v < table.entries.size(); ++v) {
-    const auto key = std::make_pair(table.entries[v].on().id(), table.entries[v].care().id());
-    int id = -1;
-    for (std::size_t i = 0; i < keys.size(); ++i)
-      if (keys[i] == key) { id = static_cast<int>(i); break; }
-    if (id == -1) {
-      id = static_cast<int>(keys.size());
-      keys.push_back(key);
-      rep_vertex.push_back(static_cast<int>(v));
-    }
-    rep.push_back(id);
+    const auto key =
+        std::make_pair(table.entries[v].on().id(), table.entries[v].care().id());
+    const auto [it, inserted] =
+        key_to_id.emplace(key, static_cast<int>(rep_vertex.size()));
+    if (inserted) rep_vertex.push_back(static_cast<int>(v));
   }
-  Graph g(static_cast<int>(keys.size()));
+  Graph g(static_cast<int>(rep_vertex.size()));
   for (int a = 0; a < g.num_vertices(); ++a)
     for (int b = a + 1; b < g.num_vertices(); ++b)
-      if (!vertices_compatible(table.entries[static_cast<std::size_t>(rep_vertex[static_cast<std::size_t>(a)])],
-                               table.entries[static_cast<std::size_t>(rep_vertex[static_cast<std::size_t>(b)])]))
+      if (!vertices_compatible(
+              table.entries[static_cast<std::size_t>(rep_vertex[static_cast<std::size_t>(a)])],
+              table.entries[static_cast<std::size_t>(rep_vertex[static_cast<std::size_t>(b)])]))
         g.add_edge(a, b);
   ColoringOptions copts;
   copts.seed = seed;
@@ -60,11 +61,115 @@ int quick_class_count(const CofactorTable& table, std::uint64_t seed) {
   return color_graph(g, copts).num_colors;
 }
 
+/// Strict order on choices; `false` on a full score tie, so in the ordered
+/// reduction the earliest-generated candidate wins ties. Generation position
+/// is the canonical tie key: it is a structural property of the candidate
+/// sequence (window start, then move index), independent of managers,
+/// allocation order, completion order, and thread count — and unlike a
+/// lexicographic variable-set key it preserves the sifted order's locality
+/// prior among equals (a sorted-vars tie key was measured ~15% worse on the
+/// table1 CLB totals).
 bool better(const BoundSetChoice& a, const BoundSetChoice& b) {
   if (a.benefit != b.benefit) return a.benefit > b.benefit;
   if (a.sharing_gap != b.sharing_gap) return a.sharing_gap > b.sharing_gap;
   return a.sum_r < b.sum_r;
 }
+
+/// Scores batches of candidates, optionally on the process-wide worker pool.
+///
+/// Ownership protocol (docs/PARALLELISM.md): each worker slot owns a private
+/// bdd::Manager seeded once — serially, before any parallel work — with the
+/// target functions via `transfer_from`; slot 0 is the calling thread and
+/// uses the original functions/manager. Workers install the caller's
+/// ResourceGovernor in their TLS scope (shared atomic budget: any worker can
+/// trip it, the pool cancels cooperatively, and the lowest-index
+/// BudgetExceeded resurfaces on the caller exactly like a serial throw) and
+/// a ScopedPhaseChain so their time lands under ".../boundset/eval_workers"
+/// in the merged phase tree.
+class CandidateEvaluator {
+ public:
+  CandidateEvaluator(const std::vector<Isf>& fns,
+                     const std::vector<std::vector<int>>& supports,
+                     std::uint64_t seed, int jobs, ResourceGovernor* gov)
+      : fns_(fns), supports_(supports), seed_(seed),
+        jobs_(std::max(1, jobs)), gov_(gov) {}
+
+  /// Evaluates every candidate; results[i] is empty iff candidate i was
+  /// skipped because the deadline expired mid-batch (in which case
+  /// *deadline_stop is set). Throws whatever the evaluation threw (pool
+  /// semantics: the lowest-index task's exception).
+  std::vector<std::optional<BoundSetChoice>> run(
+      const std::vector<std::vector<int>>& candidates, bool* deadline_stop) {
+    const std::size_t m = candidates.size();
+    std::vector<std::optional<BoundSetChoice>> results(m);
+    const int par = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs_), m));
+    if (par > 1) ensure_workers(par - 1);
+    // Captured on the calling thread: the workers' phase attribution point.
+    std::vector<std::string> worker_path = obs::current_phase_path();
+    worker_path.push_back("eval_workers");
+
+    std::atomic<bool> stopped{false};
+    util::ThreadPool::global().for_each(
+        m, par, [&](std::size_t i, int slot) {
+          if (stopped.load(std::memory_order_relaxed)) return;
+          if (gov_ != nullptr && gov_->deadline_expired()) {
+            stopped.store(true, std::memory_order_relaxed);
+            return;
+          }
+          if (slot == 0) {
+            // The calling thread: governor scope and phases already open.
+            results[i].emplace(
+                evaluate_bound_set(fns_, supports_, candidates[i], seed_));
+            return;
+          }
+          WorkerCtx& ctx = *workers_[static_cast<std::size_t>(slot - 1)];
+          std::optional<ResourceGovernor::Scope> scope;
+          if (gov_ != nullptr) scope.emplace(*gov_);
+          obs::ScopedPhaseChain phases(worker_path);
+          results[i].emplace(
+              evaluate_bound_set(ctx.fns, supports_, candidates[i], seed_));
+        });
+    if (stopped.load(std::memory_order_relaxed)) *deadline_stop = true;
+    return results;
+  }
+
+ private:
+  struct WorkerCtx {
+    std::unique_ptr<bdd::Manager> mgr;
+    std::vector<Isf> fns;
+  };
+
+  /// Builds worker contexts up front on the calling thread. `transfer_from`
+  /// reads the source manager, so this must complete before slot 0 starts
+  /// mutating it from inside the batch — which is exactly why it is called
+  /// before for_each, never from a task.
+  void ensure_workers(int want) {
+    const bdd::Manager& src = *fns_.front().manager();
+    while (static_cast<int>(workers_.size()) < want) {
+      auto ctx = std::make_unique<WorkerCtx>();
+      ctx->mgr = std::make_unique<bdd::Manager>(src.num_vars());
+      ctx->mgr->set_order(src.current_order());
+      ctx->mgr->set_governor(gov_);
+      ctx->fns.reserve(fns_.size());
+      for (const Isf& f : fns_) {
+        // Wrap each root before the next transfer so reactive GC in the
+        // fresh manager can never reclaim it.
+        bdd::Bdd on = ctx->mgr->wrap(ctx->mgr->transfer_from(src, f.on().id()));
+        bdd::Bdd care = ctx->mgr->wrap(ctx->mgr->transfer_from(src, f.care().id()));
+        ctx->fns.emplace_back(std::move(on), std::move(care));
+      }
+      workers_.push_back(std::move(ctx));
+    }
+  }
+
+  const std::vector<Isf>& fns_;
+  const std::vector<std::vector<int>>& supports_;
+  const std::uint64_t seed_;
+  const int jobs_;
+  ResourceGovernor* const gov_;
+  std::vector<std::unique_ptr<WorkerCtx>> workers_;
+};
 
 }  // namespace
 
@@ -123,53 +228,75 @@ BoundSetChoice select_bound_set(const std::vector<Isf>& fns,
 
   if (fault::armed()) fault::point("decomp.boundset");
 
-  BoundSetChoice best;
-  int evaluations = 0;
   // Candidate evaluation is the search's unit of cost; under an installed
   // governor an expired deadline stops the search at the best bound set found
   // so far (possibly none, which sends the caller to the fallback path).
   ResourceGovernor* gov = ResourceGovernor::current();
-  auto consider = [&](const std::vector<int>& bound) {
-    if (evaluations >= opts.max_evaluations) return;
+  CandidateEvaluator evaluator(fns, supports, opts.seed, opts.jobs, gov);
+
+  BoundSetChoice best;
+  int budget_left = std::max(0, opts.max_evaluations);
+  int evaluations = 0;
+  bool deadline_stop = false;
+
+  // Generate -> evaluate -> reduce for one batch. The evaluation budget is
+  // applied by *deterministic truncation* before dispatch (same candidates
+  // evaluated at any jobs value), and the reduction scans in generation
+  // order, so the running best never depends on completion order.
+  auto run_batch = [&](std::vector<std::vector<int>> batch) {
+    if (batch.empty() || budget_left <= 0 || deadline_stop) return false;
+    if (static_cast<int>(batch.size()) > budget_left)
+      batch.resize(static_cast<std::size_t>(budget_left));
     if (gov != nullptr && gov->deadline_expired()) {
-      obs::add("boundset.deadline_stops");
-      evaluations = opts.max_evaluations;  // also stops the exchange passes
-      return;
+      deadline_stop = true;
+      return false;
     }
-    ++evaluations;
-    BoundSetChoice c = evaluate_bound_set(fns, supports, bound, opts.seed);
-    if (best.vars.empty() || better(c, best)) best = std::move(c);
+    std::vector<std::optional<BoundSetChoice>> results =
+        evaluator.run(batch, &deadline_stop);
+    budget_left -= static_cast<int>(batch.size());
+    bool improved = false;
+    for (std::optional<BoundSetChoice>& r : results) {
+      if (!r.has_value()) continue;  // skipped after the deadline expired
+      ++evaluations;
+      if (best.vars.empty() || better(*r, best)) {
+        best = std::move(*r);
+        improved = true;
+      }
+    }
+    return improved;
   };
 
   // Sliding windows over the sifted order.
-  for (int start = 0; start + p <= n; ++start) {
-    std::vector<int> bound(order.begin() + start, order.begin() + start + p);
-    consider(bound);
-  }
+  std::vector<std::vector<int>> windows;
+  for (int start = 0; start + p <= n; ++start)
+    windows.emplace_back(order.begin() + start, order.begin() + start + p);
+  run_batch(std::move(windows));
 
   // Local exchange refinement: swap one bound variable against one outside
-  // variable, first-improvement, a few passes.
+  // variable. One batch scores every swap of one bound *position* against
+  // the current best; the reduction takes the batch's best improving member
+  // (if any) before the next position's batch is generated — so improvements
+  // chain across positions within a pass, like the serial search, while each
+  // batch is a deterministic parallel unit.
   for (int pass = 0; pass < opts.improvement_passes; ++pass) {
     bool improved = false;
-    for (std::size_t bi = 0; bi < best.vars.size() && evaluations < opts.max_evaluations; ++bi) {
+    for (std::size_t bi = 0;
+         bi < best.vars.size() && budget_left > 0 && !deadline_stop; ++bi) {
+      std::vector<std::vector<int>> moves;
       for (int v : order) {
         if (std::find(best.vars.begin(), best.vars.end(), v) != best.vars.end())
           continue;
         std::vector<int> bound = best.vars;
         bound[bi] = v;
         std::sort(bound.begin(), bound.end());
-        BoundSetChoice c = evaluate_bound_set(fns, supports, bound, opts.seed);
-        ++evaluations;
-        if (better(c, best)) {
-          best = std::move(c);
-          improved = true;
-          break;
-        }
-        if (evaluations >= opts.max_evaluations) break;
+        moves.push_back(std::move(bound));
       }
+      if (run_batch(std::move(moves))) improved = true;
     }
-    if (!improved) break;
+    if (!improved || best.vars.empty() || budget_left <= 0 || deadline_stop) break;
   }
+
+  if (deadline_stop) obs::add("boundset.deadline_stops");
   obs::add("boundset.searches");
   obs::add("boundset.candidates_evaluated", static_cast<std::uint64_t>(evaluations));
   if (!best.vars.empty()) obs::add("boundset.found");

@@ -9,8 +9,20 @@
 //   benefit = sum_i (|supp(f_i) /\ B| - r_i),
 // with r_i the per-output code length after an (inexpensive) ISF coloring of
 // the candidate's cofactor table; ties prefer larger sharing potential
-// (sum r_i - r_joint, the gap the paper's step 2 exploits) and then fewer
-// total functions.
+// (sum r_i - r_joint, the gap the paper's step 2 exploits), then fewer
+// total functions, then the earliest-generated candidate. Generation
+// position is a canonical, manager-independent key (window start, then move
+// index), so the winner never depends on allocation order, completion
+// order, or thread count.
+//
+// With `jobs > 1` the search runs generate -> parallel-evaluate ->
+// deterministic reduce: each batch of candidates is scored on a worker pool
+// where every worker owns a private bdd::Manager populated once via
+// `transfer_from` (workers never touch the caller's manager), and the
+// reduction scans results in candidate order. A candidate's score is pure
+// scalar data derived from function identity, not from node layout, so
+// per-worker managers yield bit-identical scores and the chosen bound set is
+// invariant under `jobs` (see docs/PARALLELISM.md).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +37,9 @@ struct BoundSetOptions {
   /// Cap on evaluated candidates (windows + exchange moves).
   int max_evaluations = 200;
   std::uint64_t seed = 1;
+  /// Worker threads (caller included) used to score candidates; 1 = serial.
+  /// Any value yields the same chosen bound set.
+  int jobs = 1;
 };
 
 struct BoundSetChoice {

@@ -51,8 +51,10 @@ Encoding encode_shared(const std::vector<std::vector<int>>& partitions, int p,
   std::vector<int> order(static_cast<std::size_t>(m));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return num_classes(partitions[static_cast<std::size_t>(a)]) >
-           num_classes(partitions[static_cast<std::size_t>(b)]);
+    const int ka = num_classes(partitions[static_cast<std::size_t>(a)]);
+    const int kb = num_classes(partitions[static_cast<std::size_t>(b)]);
+    if (ka != kb) return ka > kb;
+    return a < b;  // explicit tie-break: unstable sort must not pick the order
   });
 
   for (const int out : order) {

@@ -1,0 +1,156 @@
+#include "util/threadpool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mfd::util {
+namespace {
+
+/// True while the current thread is executing a pool task: nested for_each
+/// calls run inline instead of waiting on workers that may all be busy in
+/// the enclosing call.
+thread_local bool tls_in_pool_task = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  /// One for_each invocation. Claimed indices and the cancel flag are
+  /// lock-free (the per-task hot path); error capture and participant
+  /// accounting go through the pool mutex (once per thread per call).
+  struct Job {
+    std::size_t n = 0;
+    const Task* fn = nullptr;
+    int max_slots = 1;
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    int slots_taken = 1;     // slot 0 = submitting thread; guarded by pool mutex
+    int workers_active = 0;  // guarded by pool mutex
+    std::exception_ptr error;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::mutex error_mu;
+  };
+
+  std::mutex mu;                // worker handshake + job lifecycle
+  std::condition_variable wake;  // workers wait here for a job
+  std::condition_variable done;  // the caller waits here for the drain
+  std::vector<std::thread> threads;
+  Job* job = nullptr;
+  std::uint64_t generation = 0;
+  bool stop = false;
+
+  /// Serializes concurrent for_each callers (one job at a time).
+  std::mutex submit_mu;
+
+  static void run_tasks(Job& job, int slot) {
+    for (;;) {
+      if (job.cancelled.load(std::memory_order_relaxed)) return;
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.n) return;
+      try {
+        (*job.fn)(i, slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mu);
+        if (i < job.error_index) {
+          job.error_index = i;
+          job.error = std::current_exception();
+        }
+        job.cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void worker_loop() {
+    tls_in_pool_task = true;  // nested for_each from a task runs inline
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* my_job = nullptr;
+      int slot = -1;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        wake.wait(lock, [&] { return stop || (job != nullptr && generation != seen); });
+        if (stop) return;
+        seen = generation;
+        if (job->slots_taken >= job->max_slots) continue;  // call is fully staffed
+        my_job = job;
+        slot = my_job->slots_taken++;
+        ++my_job->workers_active;
+      }
+      run_tasks(*my_job, slot);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--my_job->workers_active == 0) done.notify_all();
+      }
+    }
+  }
+
+  void ensure_threads(int want) {
+    // Caller holds no pool locks. Growing is rare (first call per size).
+    std::lock_guard<std::mutex> lock(mu);
+    while (static_cast<int>(threads.size()) < want)
+      threads.emplace_back([this] { worker_loop(); });
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+}
+
+int ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return static_cast<int>(impl_->threads.size());
+}
+
+void ThreadPool::for_each(std::size_t n, int parallelism, const Task& fn) {
+  if (n == 0) return;
+  if (parallelism <= 1 || n == 1 || tls_in_pool_task) {
+    // Inline serial path: bit-identical task order, same exception
+    // semantics (first throw propagates, later indices never run).
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(impl_->submit_mu);
+  impl_->ensure_threads(parallelism - 1);
+
+  Impl::Job job;
+  job.n = n;
+  job.fn = &fn;
+  job.max_slots = parallelism;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->job = &job;
+    ++impl_->generation;
+  }
+  impl_->wake.notify_all();
+  // The submitting thread participates as slot 0. It must look like a pool
+  // task while doing so: a nested for_each from one of its tasks would
+  // otherwise re-enter the parallel path and self-deadlock on submit_mu.
+  tls_in_pool_task = true;
+  Impl::run_tasks(job, /*slot=*/0);  // noexcept: errors land in job.error
+  tls_in_pool_task = false;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->job = nullptr;  // no further workers may join this job
+    impl_->done.wait(lock, [&] { return job.workers_active == 0; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mfd::util

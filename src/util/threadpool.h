@@ -1,0 +1,62 @@
+// Small worker pool for embarrassingly parallel candidate evaluation.
+//
+// The pool exposes exactly one primitive, `for_each`: run fn(i, slot) for
+// every index i in [0, n), claiming indices in order from a shared cursor.
+// The *slot* is a dense per-call thread id (0 = the calling thread, which
+// always participates), so callers can pre-build one context per slot —
+// the bound-set evaluator keeps one bdd::Manager per slot, workers never
+// touch the caller's manager (see docs/PARALLELISM.md).
+//
+// Design notes
+// ------------
+// * Determinism is the caller's job, and index-addressed results make it
+//   easy: fn writes results[i], the caller reduces over i in order, and the
+//   outcome is independent of thread count and completion order.
+// * Exceptions cancel cooperatively: the first task to throw flips a cancel
+//   flag (claimed tasks finish, unclaimed indices are skipped), and after
+//   the pool drains, the exception of the *lowest-index* failed task is
+//   rethrown on the calling thread. A BudgetExceeded thrown by one worker
+//   therefore surfaces exactly like its serial counterpart, and the
+//   degradation ladder upstream engages unchanged.
+// * `parallelism <= 1`, `n <= 1`, and calls from inside a pool task all run
+//   inline on the calling thread (no self-deadlock, no thread churn), with
+//   identical exception semantics.
+// * Workers are lazy: the process-wide pool spawns threads the first time a
+//   call needs them and grows up to the requested parallelism; idle workers
+//   block on a condition variable.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace mfd::util {
+
+class ThreadPool {
+ public:
+  /// Task signature: `index` in [0, n), `slot` in [0, parallelism) — slot 0
+  /// is the calling thread; a given slot is used by one thread per call.
+  using Task = std::function<void(std::size_t index, int slot)>;
+
+  ThreadPool();
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i, slot) for every i in [0, n) on up to `parallelism` threads
+  /// (the caller included) and blocks until every claimed task finished.
+  /// Rethrows the lowest-index task exception, if any, after the drain.
+  void for_each(std::size_t n, int parallelism, const Task& fn);
+
+  /// Threads currently spawned (tests / introspection).
+  int num_threads() const;
+
+  /// The process-wide pool. Grows on demand; never shrinks.
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mfd::util
