@@ -14,6 +14,10 @@
 //   --jobs <n>             threads for bound-set candidate evaluation
 //                          (1 = serial; any value gives identical results,
 //                          see docs/PARALLELISM.md)
+//   --cache-mb <n>         byte budget of the memoization caches (default
+//                          64; 0 keeps them enabled but evicting eagerly)
+//   --no-cache             disable all memoization (docs/CACHING.md);
+//                          results are bit-identical either way
 // Budget overruns do not crash: the flow degrades (see docs/ROBUSTNESS.md)
 // and the --stats-json record carries the DegradationReport.
 #pragma once
@@ -27,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "circuits/circuits.h"
 #include "core/budget.h"
 #include "core/faultinject.h"
@@ -64,6 +69,8 @@ struct StatsSink {
   std::vector<std::string> rows;  // pre-serialized FlowRun objects
   ResourceBudget budget;  // from --time-budget-ms / --node-budget
   int jobs = 1;           // from --jobs
+  long cache_mb = -1;     // from --cache-mb (-1 = default)
+  bool no_cache = false;  // from --no-cache
 };
 
 inline StatsSink& sink() {
@@ -93,6 +100,8 @@ inline std::string flow_run_json(const FlowRun& row) {
   w.key("symmetrized_pairs").value(row.stats.symmetrized_pairs);
   w.key("max_depth").value(row.stats.max_depth);
   w.key("bdd_mux_fallbacks").value(row.stats.bdd_mux_fallbacks);
+  w.key("encoding_pool_hits").value(static_cast<std::int64_t>(row.stats.encoding_pool_hits));
+  w.key("alpha_pool_hits").value(static_cast<std::int64_t>(row.stats.alpha_pool_hits));
   w.end_object();
   w.key("verified").value(row.verified);
   w.key("error").value(row.error);
@@ -141,6 +150,8 @@ inline long parse_flag_count(const char* flag, const char* value) {
 ///   --node-budget <n>        per-run BDD node ceiling (0 = unlimited)
 ///   --fault-inject <spec>    arm fault-injection rules (core/faultinject.h)
 ///   --jobs <n>               bound-set evaluation threads (default 1)
+///   --cache-mb <n>           memoization cache byte budget in MiB
+///   --no-cache               disable all memoization (docs/CACHING.md)
 /// All flags also accept the --flag=value spelling. A malformed fault spec
 /// or count exits with status 2 rather than running unprotected.
 inline void init_stats(int* argc, char** argv) {
@@ -159,6 +170,8 @@ inline void init_stats(int* argc, char** argv) {
           static_cast<std::size_t>(detail::parse_flag_count(flag, value));
     } else if (std::strcmp(flag, "--jobs") == 0) {
       s.jobs = std::max(1, static_cast<int>(detail::parse_flag_count(flag, value)));
+    } else if (std::strcmp(flag, "--cache-mb") == 0) {
+      s.cache_mb = detail::parse_flag_count(flag, value);
     } else {  // --fault-inject
       try {
         fault::configure(value);
@@ -170,11 +183,15 @@ inline void init_stats(int* argc, char** argv) {
   };
   static constexpr const char* kFlags[] = {"--stats-json", "--time-budget-ms",
                                            "--node-budget", "--fault-inject",
-                                           "--jobs"};
+                                           "--jobs", "--cache-mb"};
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const char* arg = argv[i];
     bool consumed = false;
+    if (std::strcmp(arg, "--no-cache") == 0) {  // valueless flag
+      s.no_cache = true;
+      continue;
+    }
     for (const char* flag : kFlags) {
       const std::size_t n = std::strlen(flag);
       if (std::strcmp(arg, flag) == 0 && i + 1 < *argc) {
@@ -191,6 +208,13 @@ inline void init_stats(int* argc, char** argv) {
     if (!consumed) argv[out++] = argv[i];
   }
   *argc = out;
+  if (s.no_cache) {
+    cache::configure(cache::CacheConfig::disabled());
+  } else if (s.cache_mb >= 0) {
+    cache::CacheConfig cfg;
+    cfg.max_bytes = static_cast<std::size_t>(s.cache_mb) << 20;
+    cache::configure(cfg);
+  }
 }
 
 /// The budget requested on the command line ({} when none was given).

@@ -15,6 +15,13 @@
 // Inputs: a Berkeley PLA file (don't cares honored), a combinational BLIF
 // model, or the name of one of the built-in benchmark generators
 // (e.g. rd84, alu2 — see circuits::table_rows()).
+//
+// Every run carries a full observability report (docs/OBSERVABILITY.md):
+// r.report has the phase tree, the cache.* hit/miss counters of the
+// memoization layer (docs/CACHING.md), and r.degradation records any
+// budget-driven ladder downgrades (docs/ROBUSTNESS.md). The bench binaries
+// expose the same data as JSON via --stats-json and control the caches via
+// --cache-mb / --no-cache.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -146,6 +153,12 @@ int main(int argc, char** argv) {
                 r.stats.decomposition_steps, r.stats.total_decomposition_functions,
                 r.stats.sum_r, r.stats.shannon_fallbacks, r.stats.bdd_mux_fallbacks,
                 r.stats.max_depth);
+    std::printf("sharing: %ld encoder-pool reuses, %ld alpha-pool reuses\n",
+                r.stats.encoding_pool_hits, r.stats.alpha_pool_hits);
+    if (r.degradation.final_level != kDegradeFull)
+      std::printf("note: degraded to ladder level %d (%s)\n",
+                  r.degradation.final_level,
+                  degrade_level_name(r.degradation.final_level));
 
     if (!out_path.empty()) {
       std::ofstream(out_path) << io::write_blif(r.network, model_name, in_names, out_names);

@@ -1,12 +1,96 @@
 #include "core/synthesizer.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <new>
+#include <utility>
+#include <vector>
 
+#include "cache/cache.h"
 #include "core/errors.h"
 #include "net/simulate.h"
 
 namespace mfd {
+namespace {
+
+/// Value stored in the flow-result cache: the winning network of the whole
+/// decompose portfolio plus its stats. Verification and CLB packing are
+/// re-run live on a hit — they are cheap relative to decomposition and keep
+/// the `verified` flag honest.
+struct FlowValue {
+  net::LutNetwork network;
+  DecomposeStats stats;
+};
+
+std::size_t flow_value_bytes(const FlowValue& v) {
+  std::size_t bytes = sizeof(FlowValue);
+  for (int i = 0; i < v.network.num_luts(); ++i) {
+    const net::Lut& lut = v.network.lut(i);
+    bytes += sizeof(net::Lut) + lut.inputs.size() * sizeof(int) +
+             lut.table.size() / 8 + 1;
+  }
+  bytes += v.stats.output_degrade_level.size() * sizeof(int);
+  return bytes;
+}
+
+void append_u64(std::vector<std::uint64_t>& key, std::uint64_t w) {
+  key.push_back(w);
+}
+
+/// Key of one whole-flow decompose result: spec signatures (on and care per
+/// output, complement kept distinct — f and !f have different networks),
+/// primary-input variables, the manager's current variable order (the search
+/// is seeded from it), and a fingerprint of every option that can change the
+/// winning network. --jobs and trace are deliberately excluded: the flow is
+/// invariant under both (docs/PARALLELISM.md), so runs at different thread
+/// counts share entries.
+std::vector<std::uint64_t> flow_key(cache::SignatureComputer& sig,
+                                    const std::vector<Isf>& spec,
+                                    const std::vector<int>& pi_vars,
+                                    const bdd::Manager& m,
+                                    const SynthesisOptions& opts) {
+  std::vector<std::uint64_t> key;
+  key.reserve(4 + spec.size() * 4 + pi_vars.size() + 24);
+  append_u64(key, 3);  // key-space tag: flow results
+  append_u64(key, spec.size());
+  for (const Isf& f : spec) {
+    const cache::FunctionSignature on = sig.of(f.on().id());
+    const cache::FunctionSignature care = sig.of(f.care().id());
+    append_u64(key, on.w0);
+    append_u64(key, on.w1);
+    append_u64(key, care.w0);
+    append_u64(key, care.w1);
+  }
+  append_u64(key, pi_vars.size());
+  for (int v : pi_vars) append_u64(key, static_cast<std::uint64_t>(v));
+  append_u64(key, static_cast<std::uint64_t>(m.num_vars()));
+  for (int v : m.current_order()) append_u64(key, static_cast<std::uint64_t>(v));
+  const DecomposeOptions& d = opts.decomp;
+  append_u64(key, static_cast<std::uint64_t>(d.lut_inputs));
+  std::uint64_t flags = 0;
+  flags |= d.exploit_dc ? 1u : 0u;
+  flags |= d.dc_symmetrize ? 2u : 0u;
+  flags |= d.dc_joint ? 4u : 0u;
+  flags |= d.dc_per_output ? 8u : 0u;
+  flags |= d.share_functions ? 16u : 0u;
+  flags |= d.total_minimal_code ? 32u : 0u;
+  flags |= d.symmetric_sift ? 64u : 0u;
+  flags |= opts.portfolio_bound_extra ? 128u : 0u;
+  append_u64(key, flags);
+  append_u64(key, static_cast<std::uint64_t>(d.max_bound_extra));
+  append_u64(key, static_cast<std::uint64_t>(d.boundset.improvement_passes));
+  append_u64(key, static_cast<std::uint64_t>(d.boundset.max_evaluations));
+  append_u64(key, d.boundset.seed);
+  append_u64(key, d.seed);
+  append_u64(key, static_cast<std::uint64_t>(d.symmetrize_max_vars));
+  append_u64(key, static_cast<std::uint64_t>(d.sift_max_live_nodes));
+  append_u64(key, static_cast<std::uint64_t>(d.shannon_support_limit));
+  return key;
+}
+
+}  // namespace
 
 SynthesisResult Synthesizer::run(std::vector<Isf> spec,
                                  const std::vector<int>& pi_vars,
@@ -25,8 +109,13 @@ SynthesisResult Synthesizer::run(std::vector<Isf> spec,
 
   bdd::Manager* mgr = spec.empty() ? nullptr : spec.front().manager();
   const std::vector<Isf> original = spec;  // keep for verification
-  try {
-    result.network = decompose(spec, pi_vars, opts_.decomp, &result.stats);
+
+  // Runs the decompose portfolio (the expensive part of the flow) and
+  // returns the winning network + stats. Factored out so the flow-result
+  // cache (docs/CACHING.md) can recompute it for the debug cross-check.
+  const auto run_portfolio = [&]() {
+    FlowValue out;
+    out.network = decompose(spec, pi_vars, opts_.decomp, &out.stats);
 
     // The portfolio's second entry is pure optimization: skip it when the
     // budget already forced degradation or the deadline has passed — it
@@ -38,13 +127,57 @@ SynthesisResult Synthesizer::run(std::vector<Isf> spec,
       DecomposeStats alt_stats;
       net::LutNetwork alt = decompose(spec, pi_vars, conservative, &alt_stats);
       obs::add("synth.portfolio_runs");
-      if (alt.count_luts() < result.network.count_luts()) {
-        result.network = std::move(alt);
-        result.stats = alt_stats;
+      if (alt.count_luts() < out.network.count_luts()) {
+        out.network = std::move(alt);
+        out.stats = alt_stats;
         obs::add("synth.portfolio_conservative_won");
       }
     } else if (opts_.decomp.max_bound_extra > 0 && opts_.portfolio_bound_extra) {
       obs::add("synth.portfolio_skipped_budget");
+    }
+    return out;
+  };
+
+  // Flow-result cache: a repeat synthesis of the same spec under the same
+  // options returns the memoized winning network. memo_safe() keeps the cache
+  // out of budgeted/degraded runs (rule 2 of the determinism contract); a hit
+  // leaves the manager untouched (no auxiliary variables are added — see
+  // docs/CACHING.md for the caveat), while verification and packing below run
+  // live either way.
+  const bool flow_memo =
+      mgr != nullptr && cache::config().flow_results && cache::memo_safe(&gov);
+  std::vector<std::uint64_t> key;
+  std::shared_ptr<const FlowValue> hit;
+  if (flow_memo) {
+    cache::SignatureComputer sig(*mgr);
+    key = flow_key(sig, spec, pi_vars, *mgr, opts_);
+    hit = std::static_pointer_cast<const FlowValue>(cache::flow_cache().lookup(key));
+  }
+
+  try {
+    if (hit != nullptr) {
+      if (cache::config().cross_check) {
+        const FlowValue live = run_portfolio();
+        if (live.network.to_string() != hit->network.to_string()) {
+          std::fprintf(stderr,
+                       "mfd: cache cross-check FAILED: flow-result hit differs "
+                       "from recomputation (circuit=%s)\n",
+                       circuit.c_str());
+          std::abort();
+        }
+      }
+      result.network = hit->network;
+      result.stats = hit->stats;
+    } else {
+      FlowValue live = run_portfolio();
+      // Store only clean results: a degraded or deadline-expired run is
+      // timing-dependent and must never be served to a later lookup.
+      if (flow_memo && !gov.report().degraded() && !gov.deadline_expired()) {
+        auto value = std::make_shared<const FlowValue>(live);
+        cache::flow_cache().insert(key, value, flow_value_bytes(*value));
+      }
+      result.network = std::move(live.network);
+      result.stats = std::move(live.stats);
     }
   } catch (const std::bad_alloc&) {
     // Only an allocation fault injected into the ladder's suspended floor
@@ -84,6 +217,8 @@ SynthesisResult Synthesizer::run(std::vector<Isf> spec,
   obs::gauge_set("net.depth", result.network.depth());
   obs::gauge_set("synth.seconds", result.seconds);
   if (mgr != nullptr) mgr->publish_stats();
+  cache::publish_stats();
+  obs::gauge_set("cache.governor_bytes", static_cast<double>(gov.cache_bytes_charged()));
   result.report = obs::collect();
   return result;
 }

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <optional>
 #include <unordered_set>
 #include <utility>
 
+#include "cache/cache.h"
 #include "core/budget.h"
 #include "core/faultinject.h"
 #include "decomp/compat.h"
@@ -61,6 +64,7 @@ int quick_class_count(const CofactorTable& table, std::uint64_t seed) {
   return color_graph(g, copts).num_colors;
 }
 
+
 /// Strict order on choices; `false` on a full score tie, so in the ordered
 /// reduction the earliest-generated candidate wins ties. Generation position
 /// is the canonical tie key: it is a structural property of the candidate
@@ -92,7 +96,8 @@ class CandidateEvaluator {
                      const std::vector<std::vector<int>>& supports,
                      std::uint64_t seed, int jobs, ResourceGovernor* gov)
       : fns_(fns), supports_(supports), seed_(seed),
-        jobs_(std::max(1, jobs)), gov_(gov) {}
+        jobs_(std::max(1, jobs)), gov_(gov),
+        caller_sig_(*fns.front().manager()) {}
 
   /// Evaluates every candidate; results[i] is empty iff candidate i was
   /// skipped because the deadline expired mid-batch (in which case
@@ -119,16 +124,18 @@ class CandidateEvaluator {
           }
           if (slot == 0) {
             // The calling thread: governor scope and phases already open.
-            results[i].emplace(
-                evaluate_bound_set(fns_, supports_, candidates[i], seed_));
+            results[i].emplace(evaluate_bound_set(fns_, supports_,
+                                                  candidates[i], seed_,
+                                                  &caller_sig_));
             return;
           }
           WorkerCtx& ctx = *workers_[static_cast<std::size_t>(slot - 1)];
           std::optional<ResourceGovernor::Scope> scope;
           if (gov_ != nullptr) scope.emplace(*gov_);
           obs::ScopedPhaseChain phases(worker_path);
-          results[i].emplace(
-              evaluate_bound_set(ctx.fns, supports_, candidates[i], seed_));
+          results[i].emplace(evaluate_bound_set(ctx.fns, supports_,
+                                                candidates[i], seed_,
+                                                ctx.sig.get()));
         });
     if (stopped.load(std::memory_order_relaxed)) *deadline_stop = true;
     return results;
@@ -138,6 +145,10 @@ class CandidateEvaluator {
   struct WorkerCtx {
     std::unique_ptr<bdd::Manager> mgr;
     std::vector<Isf> fns;
+    /// Per-worker signature computer over the private manager. Signatures
+    /// are manager independent, so all workers still feed (and hit) the one
+    /// shared multiplicity cache.
+    std::unique_ptr<cache::SignatureComputer> sig;
   };
 
   /// Builds worker contexts up front on the calling thread. `transfer_from`
@@ -159,6 +170,7 @@ class CandidateEvaluator {
         bdd::Bdd care = ctx->mgr->wrap(ctx->mgr->transfer_from(src, f.care().id()));
         ctx->fns.emplace_back(std::move(on), std::move(care));
       }
+      ctx->sig = std::make_unique<cache::SignatureComputer>(*ctx->mgr);
       workers_.push_back(std::move(ctx));
     }
   }
@@ -168,15 +180,18 @@ class CandidateEvaluator {
   const std::uint64_t seed_;
   const int jobs_;
   ResourceGovernor* const gov_;
+  /// Signature computer for slot 0 (the calling thread's manager).
+  cache::SignatureComputer caller_sig_;
   std::vector<std::unique_ptr<WorkerCtx>> workers_;
 };
 
 }  // namespace
 
-BoundSetChoice evaluate_bound_set(const std::vector<Isf>& fns,
-                                  const std::vector<std::vector<int>>& supports,
-                                  const std::vector<int>& bound,
-                                  std::uint64_t seed) {
+namespace {
+
+BoundSetChoice evaluate_bound_set_fresh(
+    const std::vector<Isf>& fns, const std::vector<std::vector<int>>& supports,
+    const std::vector<int>& bound, std::uint64_t seed) {
   BoundSetChoice choice;
   choice.vars = bound;
   choice.benefit = 0;
@@ -215,6 +230,61 @@ BoundSetChoice evaluate_bound_set(const std::vector<Isf>& fns,
     choice.sharing_gap =
         static_cast<int>(choice.sum_r) - code_length(static_cast<int>(joint.size()));
   }
+  return choice;
+}
+
+}  // namespace
+
+BoundSetChoice evaluate_bound_set(const std::vector<Isf>& fns,
+                                  const std::vector<std::vector<int>>& supports,
+                                  const std::vector<int>& bound,
+                                  std::uint64_t seed,
+                                  cache::SignatureComputer* sig) {
+  // Whole-evaluation memoization (docs/CACHING.md): the choice is a pure
+  // function of the candidate's (function semantics, bound variables, seed),
+  // so a hit skips the cofactor-table construction and the ISF colorings
+  // outright. Signatures are manager and order independent, so the entry is
+  // shared across pool workers and both portfolio runs. Skipped whenever
+  // memoization could observe timing (armed budget, degradation, expired
+  // deadline, injected faults): the coloring's early-exits make the scores
+  // timing-dependent there, and caching would leak one run's schedule into
+  // the next (rule 2 of the determinism contract).
+  if (sig == nullptr || !cache::config().multiplicity ||
+      !cache::memo_safe(ResourceGovernor::current()))
+    return evaluate_bound_set_fresh(fns, supports, bound, seed);
+
+  std::vector<std::pair<bdd::Edge, bdd::Edge>> fn_edges;
+  fn_edges.reserve(fns.size());
+  for (const Isf& f : fns) fn_edges.emplace_back(f.on().id(), f.care().id());
+  const std::vector<std::uint64_t> key =
+      cache::multiplicity_key(*sig, fn_edges, bound, seed);
+
+  if (const auto hit = std::static_pointer_cast<const BoundSetChoice>(
+          cache::multiplicity_cache().lookup(key))) {
+    if (cache::config().cross_check) {
+      const BoundSetChoice fresh =
+          evaluate_bound_set_fresh(fns, supports, bound, seed);
+      if (fresh.benefit != hit->benefit ||
+          fresh.sharing_gap != hit->sharing_gap || fresh.sum_r != hit->sum_r ||
+          fresh.r_per_output != hit->r_per_output) {
+        std::fprintf(stderr,
+                     "cache cross-check failed: multiplicity hit (benefit %ld,"
+                     " gap %d) != recomputed (benefit %ld, gap %d)\n",
+                     hit->benefit, hit->sharing_gap, fresh.benefit,
+                     fresh.sharing_gap);
+        std::abort();
+      }
+    }
+    BoundSetChoice choice = *hit;
+    choice.vars = bound;  // identical by key, but keep the caller's storage
+    return choice;
+  }
+
+  BoundSetChoice choice = evaluate_bound_set_fresh(fns, supports, bound, seed);
+  cache::multiplicity_cache().insert(
+      key, std::make_shared<const BoundSetChoice>(choice),
+      sizeof(BoundSetChoice) +
+          (choice.vars.size() + choice.r_per_output.size()) * sizeof(int));
   return choice;
 }
 

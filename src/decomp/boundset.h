@@ -30,6 +30,10 @@
 
 #include "isf/isf.h"
 
+namespace mfd::cache {
+class SignatureComputer;
+}  // namespace mfd::cache
+
 namespace mfd {
 
 struct BoundSetOptions {
@@ -50,11 +54,17 @@ struct BoundSetChoice {
   std::vector<int> r_per_output;  // r_i for each output
 };
 
-/// Evaluates one candidate bound set.
+/// Evaluates one candidate bound set. `sig` (a signature computer over the
+/// functions' manager) routes the whole evaluation through the multiplicity
+/// cache (docs/CACHING.md) — a hit skips the cofactor-table construction and
+/// ISF colorings; nullptr evaluates uncached. Either way the returned scores
+/// are identical — the cache is an optimization only, never part of the
+/// result.
 BoundSetChoice evaluate_bound_set(const std::vector<Isf>& fns,
                                   const std::vector<std::vector<int>>& supports,
                                   const std::vector<int>& bound,
-                                  std::uint64_t seed);
+                                  std::uint64_t seed,
+                                  cache::SignatureComputer* sig = nullptr);
 
 /// Searches for the best bound set of size p among the variables of
 /// `order` (the active variables, most significant level first).

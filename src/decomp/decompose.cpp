@@ -10,6 +10,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "cache/cache.h"
 #include "core/budget.h"
 #include "decomp/compat.h"
 #include "decomp/dc_assign.h"
@@ -35,6 +36,33 @@ struct Ctx {
   std::vector<int> var_signal;  // manager var -> network signal
   std::vector<int> out_level;   // primary output -> ladder level at emission
   DecomposeStats stats;
+  /// Call-scoped alpha pool: (inputs, table) of every decomposition-function
+  /// LUT emitted so far -> its signal. Reusing the signal instead of emitting
+  /// a duplicate is bit-identical to the uncached flow because simplify()
+  /// merges duplicates to the earliest signal and renumbers after DCE — the
+  /// pool just does it before the duplicate ever exists (docs/CACHING.md).
+  /// Net signals are only meaningful within one decompose call, so the pool
+  /// lives here rather than in the process-wide cache layer.
+  std::map<std::pair<std::vector<int>, std::vector<bool>>, int> alpha_pool;
+
+  /// Emits a decomposition-function LUT through the pool. Entry-capped so a
+  /// pathological flow cannot hold every table ever emitted.
+  int emit_alpha(net::Lut lut) {
+    if (!cache::config().alpha_pool)
+      return net.add_lut(std::move(lut));
+    auto key = std::make_pair(lut.inputs, lut.table);
+    if (const auto it = alpha_pool.find(key); it != alpha_pool.end()) {
+      ++stats.alpha_pool_hits;
+      obs::add("cache.alpha_pool.hits");
+      return it->second;
+    }
+    obs::add("cache.alpha_pool.misses");
+    const int sig = net.add_lut(std::move(lut));
+    constexpr std::size_t kAlphaPoolCap = 100000;
+    if (alpha_pool.size() < kAlphaPoolCap)
+      alpha_pool.emplace(std::move(key), sig);
+    return sig;
+  }
 
   /// Attributes the currently active ladder level to primary output `id`
   /// (called at every signal-emission site; internal ids are ignored).
@@ -598,18 +626,21 @@ std::vector<int> synth_attempt(Ctx& c, const std::vector<Isf>& input,
   }
   ++c.stats.decomposition_steps;
   c.stats.total_decomposition_functions += enc.total_functions();
+  c.stats.encoding_pool_hits += enc.pool_hits;
   for (std::size_t i = 0; i < work.size(); ++i) c.stats.sum_r += enc.r(static_cast<int>(i));
   obs::add("decomp.steps");
   obs::add("decomp.functions_emitted", static_cast<std::uint64_t>(enc.total_functions()));
 
   std::vector<int> code_vars(static_cast<std::size_t>(enc.total_functions()));
   if (static_cast<int>(bound.size()) <= k) {
-    // Every decomposition function fits one LUT.
+    // Every decomposition function fits one LUT. Emission goes through the
+    // alpha pool: the same (inputs, table) — possibly from another output or
+    // an earlier step over the same bound signals — reuses the existing LUT.
     for (int j = 0; j < enc.total_functions(); ++j) {
       net::Lut lut;
       for (int v : bound) lut.inputs.push_back(c.signal_of(v));
       lut.table = enc.functions[static_cast<std::size_t>(j)];
-      const int sig = c.net.add_lut(std::move(lut));
+      const int sig = c.emit_alpha(std::move(lut));
       const int var = m.add_var();
       c.bind(var, sig);
       code_vars[static_cast<std::size_t>(j)] = var;
@@ -713,7 +744,7 @@ net::LutNetwork decompose(std::vector<Isf> fns, const std::vector<int>& pi_vars,
   ManagerGovernorBinding bind_mgr(m, gov);
 
   const std::size_t num_outputs = fns.size();
-  Ctx c{m, opts, gov, net::LutNetwork(static_cast<int>(pi_vars.size())), {}, {}, {}};
+  Ctx c{m, opts, gov, net::LutNetwork(static_cast<int>(pi_vars.size())), {}, {}, {}, {}};
   c.var_signal.assign(static_cast<std::size_t>(m.num_vars()), kNoSignal);
   c.out_level.assign(num_outputs, kDegradeFull);
   for (std::size_t i = 0; i < pi_vars.size(); ++i)

@@ -124,6 +124,7 @@ Encoding encode_shared(const std::vector<std::vector<int>>& partitions, int p,
       if (best_fn != -1) {
         values = std::move(best_values);
         selected.push_back(best_fn);
+        ++enc.pool_hits;
         obs::add("encoding.pool_hits");
       } else {
         // Fresh balanced splitter: in every cell, the first half of the
@@ -143,12 +144,20 @@ Encoding encode_shared(const std::vector<std::vector<int>>& partitions, int p,
           fn[v] = values[static_cast<std::size_t>(part[v])] != 0;
         enc.functions.push_back(std::move(fn));
         selected.push_back(enc.total_functions() - 1);
+        ++enc.fresh_splitters;
         obs::add("encoding.fresh_splitters");
       }
       apply_split(values);
     }
     assert(num_cells == k && "classes must be fully separated by r functions");
   }
+  // Canonical polarity: value false on bound vertex 0. Complementing a
+  // strict function keeps it strict and keeps every separation (each code
+  // word flips the same bit, via code_of), so the encoding stays valid —
+  // while functions that differ only in polarity become identical tables
+  // the alpha pool can merge (see the header comment).
+  for (auto& fn : enc.functions)
+    if (fn[0]) fn.flip();
   obs::add("encoding.outputs_encoded", static_cast<std::uint64_t>(m));
   return enc;
 }

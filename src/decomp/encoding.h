@@ -21,10 +21,16 @@
 namespace mfd {
 
 struct Encoding {
-  /// Each decomposition function as its value on every bound vertex.
+  /// Each decomposition function as its value on every bound vertex, in
+  /// canonical polarity (value false on bound vertex 0) — see encode_shared.
   std::vector<std::vector<bool>> functions;
   /// Per output: indices into `functions`, size r_i.
   std::vector<std::vector<int>> used;
+  /// Pool reuses / fresh splitters of *this* call. Per-call attribution for
+  /// DecomposeStats; the matching obs counters (encoding.pool_hits,
+  /// encoding.fresh_splitters) keep accumulating across the whole flow.
+  int pool_hits = 0;
+  int fresh_splitters = 0;
 
   int r(int output) const { return static_cast<int>(used[static_cast<std::size_t>(output)].size()); }
   int total_functions() const { return static_cast<int>(functions.size()); }
@@ -35,6 +41,15 @@ struct Encoding {
 /// Encodes the per-output class partitions over 2^p bound vertices.
 /// With `share` = false every output receives private functions (the
 /// no-sharing baseline).
+///
+/// Every returned function is flipped into *canonical polarity* (value false
+/// on bound vertex 0) as a final pass. Complementing a strict function
+/// preserves strictness and the separation its code bit provides (code words
+/// flip that bit uniformly, via code_of), so validity is untouched — but two
+/// functions that separate the same classes with opposite polarity become
+/// bit-identical tables, which is what lets the decomposition driver's alpha
+/// pool (and LutNetwork::simplify's duplicate sharing) merge "equal or
+/// complemented" decomposition functions into one LUT (docs/CACHING.md).
 Encoding encode_shared(const std::vector<std::vector<int>>& partitions, int p,
                        bool share = true);
 

@@ -1,0 +1,327 @@
+// The flow-wide memoization layer (src/cache/, docs/CACHING.md): canonical
+// signatures, the sharded LRU store, the multiplicity cache, and the
+// determinism contract — cached and uncached runs must be bit-identical.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/signature.h"
+#include "circuits/circuits.h"
+#include "core/synthesizer.h"
+#include "decomp/boundset.h"
+#include "obs/obs.h"
+#include "testlib.h"
+#include "util/rng.h"
+
+namespace mfd {
+namespace {
+
+using bdd::Bdd;
+using bdd::Edge;
+using bdd::Manager;
+
+/// Every test starts from a fresh default configuration and leaves the
+/// process-wide caches empty (they are shared across the whole binary).
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { cache::configure(cache::CacheConfig{}); }
+  void TearDown() override { cache::configure(cache::CacheConfig{}); }
+};
+
+// ---------------------------------------------------------------------------
+// Signatures
+// ---------------------------------------------------------------------------
+
+TEST_F(CacheTest, SignatureComplementPairsCollideOnlyUnderNormalization) {
+  Manager m(4);
+  Rng rng(7);
+  cache::SignatureComputer sig(m);
+  for (int round = 0; round < 20; ++round) {
+    const Bdd f = test::bdd_from_table(m, test::random_table(rng, 4), 4);
+    if (f.is_true() || f.is_false()) continue;
+    const Edge e = f.id();
+    // Raw signatures distinguish f from !f ...
+    EXPECT_NE(sig.of(e), sig.of(!e));
+    // ... normalized ones collide, and report the flip consistently.
+    bool flip_pos = false;
+    bool flip_neg = false;
+    EXPECT_EQ(sig.of_normalized(e, &flip_pos), sig.of_normalized(!e, &flip_neg));
+    EXPECT_NE(flip_pos, flip_neg);
+  }
+}
+
+TEST_F(CacheTest, SignatureIsInvariantUnderReordering) {
+  Manager m(5);
+  Rng rng(11);
+  const Bdd f = test::bdd_from_table(m, test::random_table(rng, 5), 5);
+  cache::SignatureComputer before(m);
+  const cache::FunctionSignature sb = before.of(f.id());
+
+  m.set_order({4, 2, 0, 3, 1});
+  cache::SignatureComputer after(m);
+  EXPECT_EQ(sb, after.of(f.id()));
+}
+
+TEST_F(CacheTest, SignatureIsManagerIndependent) {
+  Rng rng_a(3);
+  Manager ma(4);
+  Manager mb(4);
+  // Same function built in two managers (and some noise in mb first, so the
+  // node indices genuinely differ).
+  const test::Table t = test::random_table(rng_a, 4);
+  Rng rng_noise(99);
+  (void)test::bdd_from_table(mb, test::random_table(rng_noise, 4), 4);
+  const Bdd fa = test::bdd_from_table(ma, t, 4);
+  const Bdd fb = test::bdd_from_table(mb, t, 4);
+
+  cache::SignatureComputer sa(ma);
+  cache::SignatureComputer sb(mb);
+  EXPECT_EQ(sa.of(fa.id()), sb.of(fb.id()));
+}
+
+TEST_F(CacheTest, DistinctFunctionsGetDistinctSignatures) {
+  Manager m(5);
+  Rng rng(13);
+  cache::SignatureComputer sig(m);
+  std::vector<cache::FunctionSignature> seen;
+  for (int round = 0; round < 50; ++round) {
+    const Bdd f = test::bdd_from_table(m, test::random_table(rng, 5), 5);
+    seen.push_back(sig.of(f.id()));
+  }
+  // Some tables repeat by chance; dedupe by table first.
+  // (Simply: pairwise distinct signatures whenever the edges are distinct.)
+  std::vector<Edge> edges;
+  Rng rng2(13);
+  for (int round = 0; round < 50; ++round)
+    edges.push_back(test::bdd_from_table(m, test::random_table(rng2, 5), 5).id());
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    for (std::size_t j = i + 1; j < edges.size(); ++j)
+      if (edges[i] != edges[j]) {
+        EXPECT_NE(seen[i], seen[j]) << i << "," << j;
+      }
+}
+
+// ---------------------------------------------------------------------------
+// Multiplicity keys
+// ---------------------------------------------------------------------------
+
+TEST_F(CacheTest, MultiplicityKeysNormalizeCompleteFunctionPolarity) {
+  Manager m(4);
+  Rng rng(17);
+  cache::SignatureComputer sig(m);
+  const Bdd f0 = test::bdd_from_table(m, test::random_table(rng, 4), 4);
+  const Bdd f1 = test::bdd_from_table(m, test::random_table(rng, 4), 4);
+  const Edge t = bdd::kTrue;
+  const std::vector<int> bound = {0, 1, 2};
+
+  // Complementing a completely specified function complements its cofactors
+  // element-wise — class counts and sharing counts are unchanged, so f and
+  // !f (per function, independently) share the key.
+  const std::vector<std::pair<Edge, Edge>> pos = {{f0.id(), t}, {f1.id(), t}};
+  const std::vector<std::pair<Edge, Edge>> neg = {{!f0.id(), t}, {!f1.id(), t}};
+  const std::vector<std::pair<Edge, Edge>> mixed = {{!f0.id(), t}, {f1.id(), t}};
+  EXPECT_EQ(cache::multiplicity_key(sig, pos, bound, 1),
+            cache::multiplicity_key(sig, neg, bound, 1));
+  EXPECT_EQ(cache::multiplicity_key(sig, pos, bound, 1),
+            cache::multiplicity_key(sig, mixed, bound, 1));
+
+  // Distinct functions and distinct bound sets keep distinct keys.
+  if (f0 != f1 && f0 != !f1) {
+    const std::vector<std::pair<Edge, Edge>> swapped = {{f1.id(), t}, {f0.id(), t}};
+    EXPECT_NE(cache::multiplicity_key(sig, pos, bound, 1),
+              cache::multiplicity_key(sig, swapped, bound, 1));
+  }
+  EXPECT_NE(cache::multiplicity_key(sig, pos, bound, 1),
+            cache::multiplicity_key(sig, pos, {0, 1, 3}, 1));
+  EXPECT_NE(cache::multiplicity_key(sig, pos, bound, 1),
+            cache::multiplicity_key(sig, pos, {2, 1, 0}, 1));
+}
+
+TEST_F(CacheTest, IsfKeysKeepSeedAndPolarity) {
+  Manager m(4);
+  Rng rng(23);
+  cache::SignatureComputer sig(m);
+  const Bdd on = test::bdd_from_table(m, test::random_table(rng, 4), 4);
+  const Bdd care = on | test::bdd_from_table(m, test::random_table(rng, 4), 4);
+  const std::vector<int> bound = {0, 1};
+  const std::vector<std::pair<Edge, Edge>> isf = {{(on & care).id(), care.id()}};
+
+  // ISF coloring uses the seed: it is part of the key.
+  EXPECT_NE(cache::multiplicity_key(sig, isf, bound, 1),
+            cache::multiplicity_key(sig, isf, bound, 2));
+  // And ISF keys are not edge-complement normalized (the complement of an
+  // ISF is off = care & !on, not an edge flip).
+  const std::vector<std::pair<Edge, Edge>> flipped = {{(!(on & care)).id(), care.id()}};
+  EXPECT_NE(cache::multiplicity_key(sig, isf, bound, 1),
+            cache::multiplicity_key(sig, flipped, bound, 1));
+}
+
+// ---------------------------------------------------------------------------
+// The LRU store
+// ---------------------------------------------------------------------------
+
+TEST_F(CacheTest, LruEvictsOldestFirstAndKeepsRecentlyUsed) {
+  cache::LruCache c("cache.test", /*shards=*/1);
+  auto val = [](int x) {
+    return std::shared_ptr<const void>(std::make_shared<int>(x));
+  };
+  auto key = [](std::uint64_t x) { return std::vector<std::uint64_t>{x}; };
+
+  // Capacity for roughly 3 entries (keys are charged too).
+  c.set_capacity(3 * (96 + 8 + 64));
+  c.insert(key(1), val(1), 64);
+  c.insert(key(2), val(2), 64);
+  c.insert(key(3), val(3), 64);
+  EXPECT_EQ(c.entries(), 3u);
+
+  // Touch 1 so 2 becomes the LRU entry, then overflow.
+  EXPECT_NE(c.lookup(key(1)), nullptr);
+  c.insert(key(4), val(4), 64);
+  EXPECT_EQ(c.lookup(key(2)), nullptr);  // evicted
+  EXPECT_NE(c.lookup(key(1)), nullptr);  // survived (recently used)
+  EXPECT_NE(c.lookup(key(4)), nullptr);
+
+  // A value larger than the whole budget is never stored.
+  c.insert(key(5), val(5), 1 << 20);
+  EXPECT_EQ(c.lookup(key(5)), nullptr);
+}
+
+TEST_F(CacheTest, TinyCapacityFlowStillBitIdentical) {
+  // A 0-MiB cache budget stores nothing but must not change results.
+  cache::CacheConfig tiny;
+  tiny.max_bytes = 0;
+  cache::configure(tiny);
+  Manager m1(8);
+  const SynthesisResult a = Synthesizer().run(circuits::build("rd73", m1));
+
+  cache::configure(cache::CacheConfig::disabled());
+  Manager m2(8);
+  const SynthesisResult b = Synthesizer().run(circuits::build("rd73", m2));
+  EXPECT_EQ(a.network.to_string(), b.network.to_string());
+}
+
+// ---------------------------------------------------------------------------
+// Multiplicity cache: hits equal recomputation
+// ---------------------------------------------------------------------------
+
+TEST_F(CacheTest, CachedBoundSetScoresEqualUncachedOnes) {
+  Manager m(6);
+  const circuits::Benchmark bench = circuits::build("rd53", m);
+  std::vector<Isf> fns;
+  for (const Bdd& f : bench.outputs) fns.push_back(Isf::completely_specified(f));
+  std::vector<std::vector<int>> supports;
+  for (const Isf& f : fns) supports.push_back(f.support());
+  const std::vector<int> bound = {0, 1, 2};
+
+  const BoundSetChoice plain = evaluate_bound_set(fns, supports, bound, 1, nullptr);
+
+  obs::reset();
+  cache::SignatureComputer sig(m);
+  const BoundSetChoice first = evaluate_bound_set(fns, supports, bound, 1, &sig);
+  const BoundSetChoice again = evaluate_bound_set(fns, supports, bound, 1, &sig);
+  const obs::Report report = obs::collect();
+
+  for (const BoundSetChoice* c : {&first, &again}) {
+    EXPECT_EQ(plain.benefit, c->benefit);
+    EXPECT_EQ(plain.sharing_gap, c->sharing_gap);
+    EXPECT_EQ(plain.sum_r, c->sum_r);
+    EXPECT_EQ(plain.r_per_output, c->r_per_output);
+  }
+  // The repeat evaluation is one whole-candidate hit.
+  ASSERT_NE(report.counters.count("cache.multiplicity.hits"), 0u);
+  EXPECT_GE(report.counters.at("cache.multiplicity.hits"), 1u);
+}
+
+TEST_F(CacheTest, MemoSafeRefusesBudgetedDegradedOrFaultyRuns) {
+  EXPECT_TRUE(cache::memo_safe(nullptr));
+  {
+    ResourceGovernor unlimited;
+    EXPECT_TRUE(cache::memo_safe(&unlimited));
+  }
+  {
+    ResourceBudget budget;
+    budget.node_ceiling = 1000;
+    ResourceGovernor gov(budget);
+    EXPECT_FALSE(cache::memo_safe(&gov));
+  }
+  {
+    ResourceGovernor gov;
+    gov.raise_degrade(kDegradeFull + 1, "test", "test");
+    EXPECT_FALSE(cache::memo_safe(&gov));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: cached vs --no-cache bit-identity, and flow-cache hits
+// ---------------------------------------------------------------------------
+
+struct FlowOutcome {
+  std::string network;
+  int clb_greedy = 0;
+  int clb_matching = 0;
+  bool verified = false;
+  std::uint64_t flow_hits = 0;
+};
+
+FlowOutcome run_once(const std::string& circuit, int jobs,
+                     std::uint64_t seed = 1) {
+  SynthesisOptions opts;
+  opts.decomp.boundset.jobs = jobs;
+  opts.decomp.seed = seed;
+  Manager m;
+  const circuits::Benchmark bench = circuits::build(circuit, m);
+  const SynthesisResult r = Synthesizer(opts).run(bench);
+  FlowOutcome out;
+  out.network = r.network.to_string();
+  out.clb_greedy = r.clb_greedy.num_clbs;
+  out.clb_matching = r.clb_matching.num_clbs;
+  out.verified = r.verified;
+  const auto it = r.report.counters.find("cache.flow.hits");
+  out.flow_hits = it == r.report.counters.end() ? 0 : it->second;
+  return out;
+}
+
+TEST_F(CacheTest, CachedRunsAreBitIdenticalToUncachedAtAnyJobs) {
+  for (const char* circuit : {"rd53", "rd73", "z4ml"}) {
+    for (const int jobs : {1, 4}) {
+      cache::configure(cache::CacheConfig::disabled());
+      const FlowOutcome baseline = run_once(circuit, jobs);
+      ASSERT_TRUE(baseline.verified) << circuit;
+
+      cache::configure(cache::CacheConfig{});
+      const FlowOutcome cold = run_once(circuit, jobs);
+      const FlowOutcome warm = run_once(circuit, jobs);  // flow-cache hit
+
+      EXPECT_EQ(baseline.network, cold.network) << circuit << " jobs=" << jobs;
+      EXPECT_EQ(baseline.network, warm.network) << circuit << " jobs=" << jobs;
+      EXPECT_EQ(baseline.clb_greedy, cold.clb_greedy);
+      EXPECT_EQ(baseline.clb_matching, cold.clb_matching);
+      EXPECT_EQ(baseline.clb_greedy, warm.clb_greedy);
+      EXPECT_EQ(baseline.clb_matching, warm.clb_matching);
+      EXPECT_TRUE(cold.verified);
+      EXPECT_TRUE(warm.verified);
+      EXPECT_EQ(cold.flow_hits, 0u);
+      EXPECT_GE(warm.flow_hits, 1u) << circuit << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST_F(CacheTest, FlowCacheSharesEntriesAcrossJobsCounts) {
+  // --jobs is excluded from the options fingerprint (the flow is invariant
+  // under it), so a jobs=4 run hits the entry a jobs=1 run stored.
+  (void)run_once("rd53", 1);
+  const FlowOutcome warm = run_once("rd53", 4);
+  EXPECT_GE(warm.flow_hits, 1u);
+}
+
+TEST_F(CacheTest, OptionsFingerprintSeparatesFlowEntries) {
+  (void)run_once("rd53", 1, /*seed=*/1);
+  const FlowOutcome other_seed = run_once("rd53", 1, /*seed=*/2);
+  EXPECT_EQ(other_seed.flow_hits, 0u);  // different seed, different key
+}
+
+}  // namespace
+}  // namespace mfd

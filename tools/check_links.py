@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the repo resolves.
+
+Scans all tracked *.md files, extracts [text](target) links, and verifies
+that each non-URL target exists on disk relative to the linking file
+(anchors are stripped; pure-anchor links are checked against the headings
+of the file itself). Exits non-zero listing every broken link.
+
+Zero dependencies; run from anywhere inside the repo:
+    python3 tools/check_links.py
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug (good enough for ASCII docs)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def repo_root() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+        )
+        return out.stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def markdown_files(root: str):
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"],
+            capture_output=True, text=True, check=True, cwd=root,
+        )
+        files = [f for f in out.stdout.splitlines() if f]
+        if files:
+            return files
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        pass
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in (".git", "build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(found)
+
+
+def anchors_of(path: str):
+    with open(path, encoding="utf-8") as fh:
+        return {slugify(h) for h in HEADING_RE.findall(fh.read())}
+
+
+def main() -> int:
+    root = repo_root()
+    broken = []
+    for rel in markdown_files(root):
+        path = os.path.join(root, rel)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            target, _, anchor = target.partition("#")
+            if not target:  # same-file anchor
+                if anchor and slugify(anchor) not in anchors_of(path):
+                    broken.append(f"{rel}: missing anchor #{anchor}")
+                continue
+            dest = os.path.normpath(os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(dest):
+                broken.append(f"{rel}: missing target {target}")
+            elif anchor and dest.endswith(".md"):
+                # §-style anchors ("algorithms.md#8") aren't headings; only
+                # verify anchors that look like heading slugs.
+                slug = slugify(anchor)
+                if re.search(r"[a-z]", slug) and slug not in anchors_of(dest):
+                    broken.append(f"{rel}: missing anchor {target}#{anchor}")
+    if broken:
+        print(f"{len(broken)} broken markdown link(s):")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"all markdown links resolve across {len(markdown_files(root))} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
