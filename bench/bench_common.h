@@ -18,6 +18,15 @@
 //                          64; 0 keeps them enabled but evicting eagerly)
 //   --no-cache             disable all memoization (docs/CACHING.md);
 //                          results are bit-identical either way
+//
+// Pipeline flags (docs/PASSES.md):
+//   --passes <spec>        pass pipeline, e.g. decompose,simplify,pack
+//                          (default: the full pipeline with odc_resubst)
+//   --no-odc               drop the odc_resubst pass from the pipeline;
+//                          with the default pipeline this reproduces the
+//                          pre-pipeline flow bit-identically
+//   --dump-net <path>      write <path>.<i>-<pass>.blif/.dot after every
+//                          executed pass (pass-by-pass network states)
 // Budget overruns do not crash: the flow degrades (see docs/ROBUSTNESS.md)
 // and the --stats-json record carries the DegradationReport.
 #pragma once
@@ -35,6 +44,7 @@
 #include "circuits/circuits.h"
 #include "core/budget.h"
 #include "core/faultinject.h"
+#include "core/passes.h"
 #include "core/synthesizer.h"
 #include "obs/json.h"
 
@@ -58,6 +68,7 @@ struct FlowRun {
   /// Non-empty when the run died on a typed error (e.g. a fault injected
   /// outside the degradation ladder); the sweep continues past it.
   std::string error;
+  std::vector<net::PassStats> passes;  ///< pipeline trail of this run
   obs::Report report;  ///< phase tree + counters + gauges of this run
 };
 
@@ -71,6 +82,9 @@ struct StatsSink {
   int jobs = 1;           // from --jobs
   long cache_mb = -1;     // from --cache-mb (-1 = default)
   bool no_cache = false;  // from --no-cache
+  std::string passes;     // from --passes (empty = default pipeline)
+  bool no_odc = false;    // from --no-odc
+  std::string dump_net;   // from --dump-net (empty = no dumps)
 };
 
 inline StatsSink& sink() {
@@ -105,6 +119,19 @@ inline std::string flow_run_json(const FlowRun& row) {
   w.end_object();
   w.key("verified").value(row.verified);
   w.key("error").value(row.error);
+  w.key("passes").begin_array();
+  for (const net::PassStats& p : row.passes) {
+    w.begin_object();
+    w.key("name").value(p.name);
+    w.key("ran").value(p.ran);
+    w.key("changed").value(p.changed);
+    w.key("skip_reason").value(p.skip_reason);
+    w.key("luts_before").value(p.luts_before);
+    w.key("luts_after").value(p.luts_after);
+    w.key("seconds").value(p.seconds);
+    w.end_object();
+  }
+  w.end_array();
   w.key("degradation").begin_object();
   w.key("final_level").value(row.degradation.final_level);
   w.key("final_level_name").value(degrade_level_name(row.degradation.final_level));
@@ -172,6 +199,10 @@ inline void init_stats(int* argc, char** argv) {
       s.jobs = std::max(1, static_cast<int>(detail::parse_flag_count(flag, value)));
     } else if (std::strcmp(flag, "--cache-mb") == 0) {
       s.cache_mb = detail::parse_flag_count(flag, value);
+    } else if (std::strcmp(flag, "--passes") == 0) {
+      s.passes = value;
+    } else if (std::strcmp(flag, "--dump-net") == 0) {
+      s.dump_net = value;
     } else {  // --fault-inject
       try {
         fault::configure(value);
@@ -183,13 +214,18 @@ inline void init_stats(int* argc, char** argv) {
   };
   static constexpr const char* kFlags[] = {"--stats-json", "--time-budget-ms",
                                            "--node-budget", "--fault-inject",
-                                           "--jobs", "--cache-mb"};
+                                           "--jobs", "--cache-mb",
+                                           "--passes", "--dump-net"};
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const char* arg = argv[i];
     bool consumed = false;
     if (std::strcmp(arg, "--no-cache") == 0) {  // valueless flag
       s.no_cache = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--no-odc") == 0) {  // valueless flag
+      s.no_odc = true;
       continue;
     }
     for (const char* flag : kFlags) {
@@ -222,6 +258,22 @@ inline const ResourceBudget& cli_budget() { return detail::sink().budget; }
 
 /// The --jobs value from the command line (1 when not given).
 inline int cli_jobs() { return detail::sink().jobs; }
+
+/// The effective pipeline spec from --passes / --no-odc ("" = default
+/// pipeline). --no-odc filters odc_resubst out of whatever pipeline was
+/// chosen, so it composes with an explicit --passes.
+inline std::string cli_passes() {
+  const detail::StatsSink& s = detail::sink();
+  if (!s.no_odc) return s.passes;
+  const std::string base = s.passes.empty() ? default_pipeline_spec() : s.passes;
+  std::string out;
+  for (const std::string& name : net::parse_pipeline_spec(base)) {
+    if (name == "odc_resubst") continue;
+    if (!out.empty()) out += ',';
+    out += name;
+  }
+  return out;
+}
 
 /// Records a completed flow run for --stats-json output (no-op when the flag
 /// was not given). run_flow() calls this automatically.
@@ -275,6 +327,10 @@ inline FlowRun run_flow(const std::string& name, const SynthesisOptions& opts,
     if (cli.time_ms > 0.0) governed.budget.time_ms = cli.time_ms;
     if (cli.node_ceiling != 0) governed.budget.node_ceiling = cli.node_ceiling;
     governed.decomp.boundset.jobs = cli_jobs();
+    if (const std::string p = cli_passes(); !p.empty()) governed.passes = p;
+    if (!detail::sink().dump_net.empty())
+      governed.dump_net = detail::sink().dump_net + "." + name +
+                          (flow.empty() ? "" : "." + flow);
     row.jobs = cli_jobs();
     Synthesizer synth(governed);
     const SynthesisResult r = synth.run(bench);
@@ -289,6 +345,7 @@ inline FlowRun run_flow(const std::string& name, const SynthesisOptions& opts,
     row.seconds = r.seconds;
     row.verified = r.verified;
     row.degradation = r.degradation;
+    row.passes = r.passes;
     row.report = r.report;
   } catch (const Error& e) {
     row.error = e.what();

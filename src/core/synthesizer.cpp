@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <new>
 #include <utility>
@@ -10,15 +11,17 @@
 
 #include "cache/cache.h"
 #include "core/errors.h"
+#include "core/passes.h"
 #include "net/simulate.h"
 
 namespace mfd {
 namespace {
 
-/// Value stored in the flow-result cache: the winning network of the whole
-/// decompose portfolio plus its stats. Verification and CLB packing are
+/// Value stored in the flow-result cache: the network after the pipeline's
+/// *mutating* passes (decompose portfolio, simplify, odc_resubst, ...) plus
+/// the decompose stats. Non-mutating passes (packing) and verification are
 /// re-run live on a hit — they are cheap relative to decomposition and keep
-/// the `verified` flag honest.
+/// the `verified` flag and CLB results honest.
 struct FlowValue {
   net::LutNetwork network;
   DecomposeStats stats;
@@ -39,20 +42,33 @@ void append_u64(std::vector<std::uint64_t>& key, std::uint64_t w) {
   key.push_back(w);
 }
 
+/// FNV-1a of a string, for fingerprinting the pipeline spec into the key.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 /// Key of one whole-flow decompose result: spec signatures (on and care per
 /// output, complement kept distinct — f and !f have different networks),
 /// primary-input variables, the manager's current variable order (the search
-/// is seeded from it), and a fingerprint of every option that can change the
-/// winning network. --jobs and trace are deliberately excluded: the flow is
+/// is seeded from it), the pipeline spec (the cached network is the output
+/// of the pipeline's mutating passes, so different pipelines must not share
+/// entries), and a fingerprint of every option that can change the winning
+/// network. --jobs and trace are deliberately excluded: the flow is
 /// invariant under both (docs/PARALLELISM.md), so runs at different thread
 /// counts share entries.
 std::vector<std::uint64_t> flow_key(cache::SignatureComputer& sig,
                                     const std::vector<Isf>& spec,
                                     const std::vector<int>& pi_vars,
                                     const bdd::Manager& m,
-                                    const SynthesisOptions& opts) {
+                                    const SynthesisOptions& opts,
+                                    const std::string& pipeline_spec) {
   std::vector<std::uint64_t> key;
-  key.reserve(4 + spec.size() * 4 + pi_vars.size() + 24);
+  key.reserve(4 + spec.size() * 4 + pi_vars.size() + 28);
   append_u64(key, 3);  // key-space tag: flow results
   append_u64(key, spec.size());
   for (const Isf& f : spec) {
@@ -87,6 +103,10 @@ std::vector<std::uint64_t> flow_key(cache::SignatureComputer& sig,
   append_u64(key, static_cast<std::uint64_t>(d.symmetrize_max_vars));
   append_u64(key, static_cast<std::uint64_t>(d.sift_max_live_nodes));
   append_u64(key, static_cast<std::uint64_t>(d.shannon_support_limit));
+  append_u64(key, fnv1a(pipeline_spec));
+  append_u64(key, static_cast<std::uint64_t>(opts.odc.window_depth));
+  append_u64(key, static_cast<std::uint64_t>(opts.odc.max_cone_luts));
+  append_u64(key, static_cast<std::uint64_t>(opts.odc.max_iters));
   return key;
 }
 
@@ -109,56 +129,63 @@ SynthesisResult Synthesizer::run(std::vector<Isf> spec,
 
   bdd::Manager* mgr = spec.empty() ? nullptr : spec.front().manager();
   const std::vector<Isf> original = spec;  // keep for verification
+  spec.clear();
 
-  // Runs the decompose portfolio (the expensive part of the flow) and
-  // returns the winning network + stats. Factored out so the flow-result
-  // cache (docs/CACHING.md) can recompute it for the debug cross-check.
-  const auto run_portfolio = [&]() {
-    FlowValue out;
-    out.network = decompose(spec, pi_vars, opts_.decomp, &out.stats);
+  // The flow is a pass pipeline over the LUT-network IR; an invalid
+  // `--passes` spec throws mfd::Error here, before any work.
+  net::PassPipeline pipeline = build_pipeline(opts_.passes, opts_);
+  if (!opts_.dump_net.empty()) {
+    const std::string base = opts_.dump_net;
+    pipeline.set_dump_hook(
+        [base](const net::LutNetwork& net, const net::Pass& pass, int index) {
+          const std::string stem =
+              base + "." + std::to_string(index) + "-" + pass.name();
+          std::ofstream(stem + ".blif") << net.to_blif(pass.name());
+          std::ofstream(stem + ".dot") << net.to_dot(pass.name());
+        });
+  }
 
-    // The portfolio's second entry is pure optimization: skip it when the
-    // budget already forced degradation or the deadline has passed — it
-    // would only walk the ladder again and discard the work.
-    if (opts_.decomp.max_bound_extra > 0 && opts_.portfolio_bound_extra &&
-        !gov.report().degraded() && !gov.deadline_expired()) {
-      DecomposeOptions conservative = opts_.decomp;
-      conservative.max_bound_extra = 0;
-      DecomposeStats alt_stats;
-      net::LutNetwork alt = decompose(spec, pi_vars, conservative, &alt_stats);
-      obs::add("synth.portfolio_runs");
-      if (alt.count_luts() < out.network.count_luts()) {
-        out.network = std::move(alt);
-        out.stats = alt_stats;
-        obs::add("synth.portfolio_conservative_won");
-      }
-    } else if (opts_.decomp.max_bound_extra > 0 && opts_.portfolio_bound_extra) {
-      obs::add("synth.portfolio_skipped_budget");
-    }
-    return out;
-  };
+  net::PassContext ctx;
+  ctx.manager = mgr;
+  ctx.spec = &original;
+  ctx.pi_vars = &pi_vars;
+  ctx.options = &opts_;
+  ctx.governor = &gov;
+  ctx.circuit = circuit;
+  ctx.stats = &result.stats;
+  ctx.clb_greedy = &result.clb_greedy;
+  ctx.clb_matching = &result.clb_matching;
 
   // Flow-result cache: a repeat synthesis of the same spec under the same
-  // options returns the memoized winning network. memo_safe() keeps the cache
-  // out of budgeted/degraded runs (rule 2 of the determinism contract); a hit
-  // leaves the manager untouched (no auxiliary variables are added — see
-  // docs/CACHING.md for the caveat), while verification and packing below run
-  // live either way.
+  // options (including the pipeline spec) returns the memoized network of
+  // the mutating passes. memo_safe() keeps the cache out of budgeted or
+  // degraded runs (rule 2 of the determinism contract); a hit leaves the
+  // manager untouched (no auxiliary variables are added — see
+  // docs/CACHING.md for the caveat), while the non-mutating passes and
+  // verification run live either way.
   const bool flow_memo =
       mgr != nullptr && cache::config().flow_results && cache::memo_safe(&gov);
   std::vector<std::uint64_t> key;
   std::shared_ptr<const FlowValue> hit;
   if (flow_memo) {
     cache::SignatureComputer sig(*mgr);
-    key = flow_key(sig, spec, pi_vars, *mgr, opts_);
+    key = flow_key(sig, original, pi_vars, *mgr, opts_, pipeline.spec());
     hit = std::static_pointer_cast<const FlowValue>(cache::flow_cache().lookup(key));
   }
 
   try {
     if (hit != nullptr) {
       if (cache::config().cross_check) {
-        const FlowValue live = run_portfolio();
-        if (live.network.to_string() != hit->network.to_string()) {
+        // Recompute the full pipeline into scratch slots and compare.
+        net::LutNetwork live;
+        DecomposeStats scratch_stats;
+        map::ClbResult scratch_greedy, scratch_matching;
+        net::PassContext check_ctx = ctx;
+        check_ctx.stats = &scratch_stats;
+        check_ctx.clb_greedy = &scratch_greedy;
+        check_ctx.clb_matching = &scratch_matching;
+        pipeline.run(live, check_ctx);
+        if (live.to_string() != hit->network.to_string()) {
           std::fprintf(stderr,
                        "mfd: cache cross-check FAILED: flow-result hit differs "
                        "from recomputation (circuit=%s)\n",
@@ -168,16 +195,19 @@ SynthesisResult Synthesizer::run(std::vector<Isf> spec,
       }
       result.network = hit->network;
       result.stats = hit->stats;
+      // Replay the non-mutating passes (packing, analysis) on the cached
+      // network; mutating passes are skipped — their effect is the network.
+      result.passes = pipeline.run(result.network, ctx, /*skip_mutating=*/true);
     } else {
-      FlowValue live = run_portfolio();
+      net::LutNetwork net;
+      result.passes = pipeline.run(net, ctx);
       // Store only clean results: a degraded or deadline-expired run is
       // timing-dependent and must never be served to a later lookup.
       if (flow_memo && !gov.report().degraded() && !gov.deadline_expired()) {
-        auto value = std::make_shared<const FlowValue>(live);
+        auto value = std::make_shared<const FlowValue>(FlowValue{net, result.stats});
         cache::flow_cache().insert(key, value, flow_value_bytes(*value));
       }
-      result.network = std::move(live.network);
-      result.stats = std::move(live.stats);
+      result.network = std::move(net);
     }
   } catch (const std::bad_alloc&) {
     // Only an allocation fault injected into the ladder's suspended floor
@@ -185,7 +215,6 @@ SynthesisResult Synthesizer::run(std::vector<Isf> spec,
     throw BddError("allocation failure escaped the degradation ladder" +
                    (circuit.empty() ? std::string() : " (circuit=" + circuit + ")"));
   }
-  spec.clear();
 
   // The per-output levels of the *winning* network (the governor's snapshot
   // tracks the most recent decompose call, which may be the discarded one).
@@ -193,7 +222,9 @@ SynthesisResult Synthesizer::run(std::vector<Isf> spec,
 
   if (opts_.verify) {
     // Verification is exactness, not optimization: it runs with budget
-    // enforcement suspended so a tight deadline can never abort it.
+    // enforcement suspended so a tight deadline can never abort it. It runs
+    // after the whole pipeline, so it checks exactly the network the caller
+    // receives — every pass, odc_resubst included, is covered.
     ResourceGovernor::SuspendScope suspend(gov);
     obs::ScopedPhase verify_phase("verify");
     std::string error;
@@ -202,11 +233,6 @@ SynthesisResult Synthesizer::run(std::vector<Isf> spec,
     result.verified = true;
   }
 
-  {
-    obs::ScopedPhase pack_phase("pack");
-    result.clb_greedy = map::pack_greedy(result.network, opts_.clb);
-    result.clb_matching = map::pack_matching(result.network, opts_.clb);
-  }
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 

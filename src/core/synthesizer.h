@@ -1,10 +1,20 @@
 // Top-level synthesis API: the paper's complete flow in one call.
 //
+// The flow is a *pass pipeline* over the LUT-network IR (net/passmgr.h);
+// the default pipeline is
+//
 //   spec (multi-output ISF or Benchmark)
-//     -> recursive decomposition with 3-step don't-care assignment (mulop-dc)
-//     -> LUT network + structural cleanup
-//     -> exact verification against the spec (BDD containment)
-//     -> XC3000 CLB packing, greedy (mulop-dc) and matching (mulop-dcII)
+//     -> decompose    recursive decomposition portfolio with 3-step
+//                     don't-care assignment (mulop-dc)
+//     -> simplify     structural cleanup + single-fanout repacking
+//     -> odc_resubst  network-level ODC/SDC feedback: per-LUT windowed
+//                     don't cares, re-minimized with the ISF machinery
+//     -> pack         XC3000 CLB packing, greedy + matching (analysis)
+//
+// followed by exact verification against the spec (BDD containment), which
+// is a flow invariant rather than a pass. `SynthesisOptions::passes`
+// ("--passes" in the benches) rebuilds the pipeline from a spec string;
+// "decompose,simplify,pack" reproduces the pre-pipeline flow bit-exactly.
 //
 // The option presets at the bottom configure the flows compared in the
 // paper's tables: mulopII (no DC exploitation), mulop-dc, and the ablations.
@@ -19,6 +29,8 @@
 #include "isf/isf.h"
 #include "map/clb.h"
 #include "net/lutnet.h"
+#include "net/odc_resubst.h"
+#include "net/passmgr.h"
 #include "obs/obs.h"
 
 namespace mfd {
@@ -37,6 +49,16 @@ struct SynthesisOptions {
   /// it never fails the run: the decomposition walks the degradation ladder
   /// (core/budget.h) and the result records how far it fell.
   ResourceBudget budget;
+  /// Pass pipeline spec, e.g. "decompose,simplify,odc_resubst,pack". Empty
+  /// selects the default pipeline (core/passes.h); unknown names throw
+  /// mfd::Error at run().
+  std::string passes;
+  /// Options of the odc_resubst pass (its lut_inputs is overridden with
+  /// decomp.lut_inputs when the pipeline is built).
+  net::OdcOptions odc;
+  /// When non-empty, write "<dump_net>.<index>-<pass>.blif" and ".dot"
+  /// after every executed pipeline pass (pass-by-pass network states).
+  std::string dump_net;
 };
 
 struct SynthesisResult {
@@ -48,6 +70,10 @@ struct SynthesisResult {
   /// Which degradation-ladder rung the run finished on, every downgrade
   /// event, and the rung each primary output was synthesized at.
   DegradationReport degradation;
+  /// Pass-by-pass trail of the pipeline (skipped passes carry a
+  /// skip_reason: "cached" on a flow-cache hit, "degraded" for optional
+  /// passes dropped by the ladder).
+  std::vector<net::PassStats> passes;
   double seconds = 0.0;
   /// Phase tree + counters + gauges of this run (see docs/OBSERVABILITY.md).
   /// `run` resets the process-wide registry at entry, so the report covers

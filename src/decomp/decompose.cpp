@@ -1,164 +1,21 @@
+// The recursive multi-output decomposition driver: the degradation-ladder
+// wrapper (`synth`), the per-level orchestrator (`synth_attempt`), and the
+// public `decompose()` entry. The emission units live in emit.cpp and the
+// per-level decomposition step in step.cpp (see driver.h for the split).
 #include "decomp/decompose.h"
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
-#include <climits>
-#include <cstdio>
-#include <map>
 #include <new>
 #include <optional>
-#include <unordered_map>
+#include <string>
 
-#include "cache/cache.h"
-#include "core/budget.h"
-#include "decomp/compat.h"
-#include "decomp/dc_assign.h"
-#include "decomp/encoding.h"
+#include "decomp/driver.h"
 #include "obs/obs.h"
-#include "sym/symmetrize.h"
-#include "sym/symmetry.h"
 
 namespace mfd {
+namespace decomp {
 namespace {
-
-constexpr int kNoSignal = -1000000;
-
-/// Marker id for functions that are not primary outputs (alpha recursions);
-/// their ladder level is not attributed to anyone.
-constexpr int kInternalId = -1;
-
-struct Ctx {
-  bdd::Manager& m;
-  const DecomposeOptions& opts;
-  ResourceGovernor* gov;  // never null inside synth (decompose installs one)
-  net::LutNetwork net;
-  std::vector<int> var_signal;  // manager var -> network signal
-  std::vector<int> out_level;   // primary output -> ladder level at emission
-  DecomposeStats stats;
-  /// Call-scoped alpha pool: (inputs, table) of every decomposition-function
-  /// LUT emitted so far -> its signal. Reusing the signal instead of emitting
-  /// a duplicate is bit-identical to the uncached flow because simplify()
-  /// merges duplicates to the earliest signal and renumbers after DCE — the
-  /// pool just does it before the duplicate ever exists (docs/CACHING.md).
-  /// Net signals are only meaningful within one decompose call, so the pool
-  /// lives here rather than in the process-wide cache layer.
-  std::map<std::pair<std::vector<int>, std::vector<bool>>, int> alpha_pool;
-
-  /// Emits a decomposition-function LUT through the pool. Entry-capped so a
-  /// pathological flow cannot hold every table ever emitted.
-  int emit_alpha(net::Lut lut) {
-    if (!cache::config().alpha_pool)
-      return net.add_lut(std::move(lut));
-    auto key = std::make_pair(lut.inputs, lut.table);
-    if (const auto it = alpha_pool.find(key); it != alpha_pool.end()) {
-      ++stats.alpha_pool_hits;
-      obs::add("cache.alpha_pool.hits");
-      return it->second;
-    }
-    obs::add("cache.alpha_pool.misses");
-    const int sig = net.add_lut(std::move(lut));
-    constexpr std::size_t kAlphaPoolCap = 100000;
-    if (alpha_pool.size() < kAlphaPoolCap)
-      alpha_pool.emplace(std::move(key), sig);
-    return sig;
-  }
-
-  /// Attributes the currently active ladder level to primary output `id`
-  /// (called at every signal-emission site; internal ids are ignored).
-  void record_level(int id) {
-    if (id == kInternalId) return;
-    int& slot = out_level[static_cast<std::size_t>(id)];
-    slot = std::max(slot, gov->degrade_level());
-  }
-
-  int signal_of(int var) const {
-    assert(var_signal[static_cast<std::size_t>(var)] != kNoSignal);
-    return var_signal[static_cast<std::size_t>(var)];
-  }
-  void bind(int var, int signal) {
-    if (static_cast<std::size_t>(var) >= var_signal.size())
-      var_signal.resize(static_cast<std::size_t>(var) + 1, kNoSignal);
-    var_signal[static_cast<std::size_t>(var)] = signal;
-  }
-};
-
-/// Emits a completely specified extension as a single LUT (its support must
-/// fit the fanin bound). Returns the driving signal.
-int emit_small(Ctx& c, const bdd::Bdd& ext) {
-  bdd::Manager& m = c.m;
-  const bdd::Edge g = ext.id();
-  const std::vector<int> supp = m.support(g);
-  if (supp.empty()) return g == bdd::kTrue ? net::kConst1 : net::kConst0;
-
-  net::Lut lut;
-  lut.inputs.reserve(supp.size());
-  for (int v : supp) lut.inputs.push_back(c.signal_of(v));
-  lut.table.resize(std::size_t{1} << supp.size());
-  std::vector<bool> assignment(static_cast<std::size_t>(m.num_vars()), false);
-  for (std::size_t idx = 0; idx < lut.table.size(); ++idx) {
-    for (std::size_t j = 0; j < supp.size(); ++j)
-      assignment[static_cast<std::size_t>(supp[j])] = (idx >> j) & 1;
-    lut.table[idx] = m.eval(g, assignment);
-  }
-  return c.net.add_lut(std::move(lut));
-}
-
-double trace_ms() {
-  static const auto t0 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-std::vector<int> union_of_supports(const std::vector<Isf>& fns) {
-  std::vector<int> active;
-  for (const Isf& f : fns) {
-    std::vector<int> s = f.support();
-    std::vector<int> merged;
-    std::set_union(active.begin(), active.end(), s.begin(), s.end(),
-                   std::back_inserter(merged));
-    active = std::move(merged);
-  }
-  return active;
-}
-
-std::vector<int> synth_attempt(Ctx& c, const std::vector<Isf>& input,
-                               const std::vector<int>& ids, int depth);
-
-/// Ladder driver wrapping synth_attempt. On BudgetExceeded / bad_alloc it
-/// raises the (global, monotone) degradation level one rung and retries the
-/// same subproblem; the structural floor (level 3) runs with enforcement
-/// suspended, so it completes unless a fault is injected into it — only then
-/// does a typed error escape to the caller. `ids[i]` is the primary-output
-/// index function i computes (kInternalId for alpha recursions), used to
-/// attribute the final ladder level per output.
-std::vector<int> synth(Ctx& c, std::vector<Isf> fns, const std::vector<int>& ids,
-                       int depth) {
-  ResourceGovernor& gov = *c.gov;
-  for (;;) {
-    const int level = gov.degrade_level();
-    try {
-      if (level >= kDegradeStructural) {
-        ResourceGovernor::SuspendScope suspend(gov);
-        return synth_attempt(c, fns, ids, depth);
-      }
-      return synth_attempt(c, fns, ids, depth);
-    } catch (const BudgetExceeded& e) {
-      if (level >= kDegradeStructural) throw;  // even the suspended floor failed
-      gov.raise_degrade(level + 1, "decomp.synth@d=" + std::to_string(depth),
-                        e.what());
-      obs::add("decomp.ladder_retries");
-    } catch (const std::bad_alloc&) {
-      if (level >= kDegradeStructural) throw;
-      gov.raise_degrade(level + 1, "decomp.synth@d=" + std::to_string(depth),
-                        "allocation failure (bad_alloc)");
-      obs::add("decomp.ladder_retries");
-    }
-    // LUTs emitted by the aborted attempt are unreferenced (outputs attach
-    // only at the end of decompose) and swept by net.simplify(); BDD
-    // intermediates are dead roots reclaimed by the next garbage collection.
-  }
-}
 
 /// Greedy clustering of outputs by support overlap: an output joins the
 /// cluster it overlaps most, if the overlap covers at least half of its own
@@ -202,182 +59,9 @@ std::vector<std::vector<int>> cluster_by_support(
   return clusters;
 }
 
-/// Window-seed order for the bound-set search: symmetry groups stay
-/// contiguous; groups are chained greedily by support co-occurrence
-/// (the group sharing the most outputs with the previously placed one goes
-/// next), so windows cover variables that actually appear together.
-std::vector<int> seed_order(const std::vector<Isf>& fns,
-                            const std::vector<std::vector<int>>& groups) {
-  const int ng = static_cast<int>(groups.size());
-  // Bitmask of outputs using each group (outputs beyond 64 fold over).
-  std::vector<std::uint64_t> uses(static_cast<std::size_t>(ng), 0);
-  std::vector<int> freq(static_cast<std::size_t>(ng), 0);
-  for (std::size_t o = 0; o < fns.size(); ++o) {
-    const std::vector<int> supp = fns[o].support();
-    for (int g = 0; g < ng; ++g) {
-      for (int v : groups[static_cast<std::size_t>(g)]) {
-        if (std::binary_search(supp.begin(), supp.end(), v)) {
-          uses[static_cast<std::size_t>(g)] |= std::uint64_t{1} << (o % 64);
-          ++freq[static_cast<std::size_t>(g)];
-          break;
-        }
-      }
-    }
-  }
-  std::vector<bool> placed(static_cast<std::size_t>(ng), false);
-  std::vector<int> order;
-  int last = -1;
-  for (int step = 0; step < ng; ++step) {
-    int best = -1;
-    long best_key = -1;
-    for (int g = 0; g < ng; ++g) {
-      if (placed[static_cast<std::size_t>(g)]) continue;
-      const long common =
-          last == -1 ? 0
-                     : static_cast<long>(__builtin_popcountll(
-                           uses[static_cast<std::size_t>(g)] &
-                           uses[static_cast<std::size_t>(last)]));
-      const long key = common * 1024 + freq[static_cast<std::size_t>(g)];
-      if (key > best_key) {
-        best_key = key;
-        best = g;
-      }
-    }
-    placed[static_cast<std::size_t>(best)] = true;
-    last = best;
-    for (int v : groups[static_cast<std::size_t>(best)]) order.push_back(v);
-  }
-  return order;
-}
-
-/// Last-resort emission: map the extension-zero BDD of `f` node-for-node to
-/// a network of multiplexers (the classic direct BDD mapping). Linear in the
-/// BDD size, so it bounds the worst case when neither a profitable bound set
-/// nor an affordable Shannon cascade exists.
-int emit_bdd_muxes(Ctx& c, const Isf& f) {
-  bdd::Manager& m = c.m;
-  const bdd::Bdd ext = f.extension_small();
-  const bdd::Edge root = ext.id();
-  std::unordered_map<bdd::Edge, int> signal;
-  signal.emplace(bdd::kFalse, net::kConst0);
-  signal.emplace(bdd::kTrue, net::kConst1);
-
-  auto rec = [&](auto&& self, bdd::Edge n) -> int {
-    const auto it = signal.find(n);
-    if (it != signal.end()) return it->second;
-    const int lo = self(self, m.node_lo(n));
-    const int hi = self(self, m.node_hi(n));
-    const int sel = c.signal_of(static_cast<int>(m.node_var(n)));
-    int out;
-    if (c.opts.lut_inputs >= 3) {
-      net::Lut mux;
-      mux.inputs = {sel, hi, lo};
-      mux.table.resize(8);
-      for (std::size_t idx = 0; idx < 8; ++idx)
-        mux.table[idx] = (idx & 1) ? ((idx >> 1) & 1) : ((idx >> 2) & 1);
-      out = c.net.add_lut(std::move(mux));
-    } else {
-      const int t1 = c.net.add_lut({{sel, hi}, {false, false, false, true}});
-      const int t0 = c.net.add_lut({{lo, sel}, {false, true, false, false}});
-      out = c.net.add_lut({{t1, t0}, {false, true, true, true}});
-    }
-    signal.emplace(n, out);
-    return out;
-  };
-  return rec(rec, root);
-}
-
-/// Shannon (mux) fallback: guaranteed support reduction when no bound set
-/// yields one.
-std::vector<int> shannon_step(Ctx& c, const std::vector<Isf>& fns,
-                              const std::vector<int>& ids, int depth) {
-  ++c.stats.shannon_fallbacks;
-  obs::add("decomp.shannon_fallbacks");
-  bdd::Manager& m = c.m;
-
-  // Split on the variable occurring in the most supports.
-  std::vector<int> active = union_of_supports(fns);
-  int split = active.front();
-  int best_count = -1;
-  for (int v : active) {
-    int count = 0;
-    for (const Isf& f : fns) {
-      const std::vector<int> s = f.support();
-      if (std::binary_search(s.begin(), s.end(), v)) ++count;
-    }
-    if (count > best_count) {
-      best_count = count;
-      split = v;
-    }
-  }
-
-  std::vector<Isf> halves;
-  std::vector<int> half_ids;
-  halves.reserve(fns.size() * 2);
-  half_ids.reserve(fns.size() * 2);
-  for (std::size_t i = 0; i < fns.size(); ++i) {
-    halves.push_back(fns[i].cofactor(split, false));
-    halves.push_back(fns[i].cofactor(split, true));
-    half_ids.push_back(ids[i]);
-    half_ids.push_back(ids[i]);
-  }
-  obs::ScopedPhase recurse_phase("recurse");
-  const std::vector<int> sub = synth(c, std::move(halves), half_ids, depth + 1);
-
-  const int sel = c.signal_of(split);
-  std::vector<int> result(fns.size());
-  for (std::size_t i = 0; i < fns.size(); ++i) {
-    const int s0 = sub[2 * i], s1 = sub[2 * i + 1];
-    c.record_level(ids[i]);
-    if (c.opts.lut_inputs >= 3) {
-      // One 3-input mux LUT: inputs (sel, d1, d0).
-      net::Lut mux;
-      mux.inputs = {sel, s1, s0};
-      mux.table.resize(8);
-      for (std::size_t idx = 0; idx < 8; ++idx)
-        mux.table[idx] = (idx & 1) ? ((idx >> 1) & 1) : ((idx >> 2) & 1);
-      result[i] = c.net.add_lut(std::move(mux));
-    } else {
-      // Three 2-input gates: (sel & d1) | (d0 & !sel).
-      const int t1 = c.net.add_lut({{sel, s1}, {false, false, false, true}});
-      const int t0 = c.net.add_lut({{s0, sel}, {false, true, false, false}});
-      result[i] = c.net.add_lut({{t1, t0}, {false, true, true, true}});
-    }
-  }
-  m.garbage_collect();
-  return result;
-}
-
-/// Emission when no profitable bound set exists: Shannon-split outputs with
-/// small support (the recursion then reconsiders the halves), map the rest
-/// directly as BDD mux networks (bounded cost; a Shannon cascade over a wide
-/// support could fan out exponentially).
-std::vector<int> fallback_emit(Ctx& c, const std::vector<Isf>& work,
-                               const std::vector<int>& ids, int depth) {
-  std::vector<int> sigs(work.size(), net::kConst0);
-  std::vector<int> small_idx;
-  std::vector<Isf> small_fns;
-  std::vector<int> small_ids;
-  for (std::size_t i = 0; i < work.size(); ++i) {
-    if (static_cast<int>(work[i].support().size()) <= c.opts.shannon_support_limit) {
-      small_idx.push_back(static_cast<int>(i));
-      small_fns.push_back(work[i]);
-      small_ids.push_back(ids[i]);
-    } else {
-      sigs[i] = emit_bdd_muxes(c, work[i]);
-      c.record_level(ids[i]);
-      ++c.stats.bdd_mux_fallbacks;
-      obs::add("decomp.bdd_mux_fallbacks");
-    }
-  }
-  if (!small_fns.empty()) {
-    const std::vector<int> sub = shannon_step(c, small_fns, small_ids, depth);
-    for (std::size_t i = 0; i < small_idx.size(); ++i)
-      sigs[static_cast<std::size_t>(small_idx[i])] = sub[i];
-  }
-  return sigs;
-}
-
+/// One recursion level: emit outputs whose extension fits a single LUT,
+/// bottom out on the ladder floor, split mostly-disjoint output groups, and
+/// hand each remaining cluster to the decomposition step.
 std::vector<int> synth_attempt(Ctx& c, const std::vector<Isf>& input,
                                const std::vector<int>& ids, int depth) {
   c.stats.max_depth = std::max(c.stats.max_depth, depth);
@@ -456,253 +140,43 @@ std::vector<int> synth_attempt(Ctx& c, const std::vector<Isf>& input,
     }
   }
 
-  std::vector<int> active = union_of_supports(work);
-
-  if (c.opts.trace) {
-    std::fprintf(stderr, "[%8.0fms synth d=%d] %zu big, %zu active, %zu mgr vars, %zu nodes, supports:",
-                 trace_ms(), depth, big.size(), active.size(),
-                 static_cast<std::size_t>(m.num_vars()), m.live_node_count());
-    for (const Isf& f : work)
-      std::fprintf(stderr, " %zu", f.support().size());
-    std::fprintf(stderr, "\n");
-  }
-
-  // ---- step 1: symmetrize --------------------------------------------
-  // Skipped from ladder level 2 on: symmetrization only buys optimization
-  // quality, and it is one of the two DC steps the ladder sheds.
-  if (c.opts.exploit_dc && c.opts.dc_symmetrize &&
-      c.gov->degrade_level() < kDegradeNoDcSteps &&
-      static_cast<int>(active.size()) <= c.opts.symmetrize_max_vars) {
-    obs::ScopedPhase phase("symmetrize");
-    const SymmetrizeStats s = symmetrize(work, active);
-    c.stats.symmetrized_pairs += s.ne_applied + s.e_applied;
-  }
-  if (c.opts.trace) std::fprintf(stderr, "[%8.0fms synth d=%d] symmetrized\n", trace_ms(), depth);
-
-  // ---- variable order seed ---------------------------------------------
-  // The bound-set search scans windows of this order, so what matters is
-  // that symmetric variables sit together and co-occurring variables are
-  // near each other. With enumeration-based ncc the BDD order itself is
-  // semantically irrelevant; we still run one symmetric sifting pass at the
-  // top (it shrinks the working BDDs and is the paper's seed [12,15]), but
-  // deeper levels use a cheap group/co-occurrence order.
-  const std::vector<std::vector<int>> groups = symmetry_groups(work, active);
-  if (c.opts.trace)
-    std::fprintf(stderr, "[%8.0fms synth d=%d] %zu symmetry groups\n", trace_ms(),
-                 depth, groups.size());
-  if (c.opts.symmetric_sift && depth == 0 &&
-      m.live_node_count() <= static_cast<std::size_t>(c.opts.sift_max_live_nodes)) {
-    obs::ScopedPhase phase("sift");
-    obs::add("decomp.sift_runs");
-    m.sift_symmetric(groups, /*max_growth=*/1.2);
-  }
-  if (c.opts.trace) std::fprintf(stderr, "[%8.0fms synth d=%d] sifted\n", trace_ms(), depth);
-  const std::vector<int> order = seed_order(work, groups);
-
-  // ---- bound set -----------------------------------------------------------
-  BoundSetOptions bopts = c.opts.boundset;
-  bopts.seed = c.opts.seed;
-  // Candidate evaluation costs O(outputs * 2^p) BDD work; keep the total
-  // search effort roughly constant as the output count grows.
-  bopts.max_evaluations = std::max(
-      24, bopts.max_evaluations / std::max<int>(1, static_cast<int>(work.size()) / 8));
-
-  // Estimated LUTs to realize one decomposition function of q inputs.
-  auto alpha_tree_luts = [&](int q) { return (q - 1 + (k - 2)) / (k - 1); };
-  // Penalty-adjusted benefit: oversized bound sets pay for the extra LUTs
-  // their decomposition functions need.
-  auto adjusted_benefit = [&](const BoundSetChoice& ch) {
-    if (ch.vars.empty()) return LONG_MIN;
-    const int q = static_cast<int>(ch.vars.size());
-    if (q <= k) return ch.benefit;
-    int est_alphas = 0;
-    for (int r : ch.r_per_output) est_alphas = std::max(est_alphas, r);
-    if (c.opts.share_functions)
-      est_alphas = std::max<int>(est_alphas, static_cast<int>(ch.sum_r) - ch.sharing_gap);
-    else
-      est_alphas = static_cast<int>(ch.sum_r);
-    return ch.benefit - static_cast<long>(est_alphas) * (alpha_tree_luts(q) - 1);
-  };
-
-  const int base_p = std::min(k, static_cast<int>(active.size()) - 1);
-  const int max_p = std::min(k + std::max(0, c.opts.max_bound_extra),
-                             static_cast<int>(active.size()) - 1);
-  BoundSetChoice choice;
-  if (base_p >= 2) {
-    obs::ScopedPhase boundset_phase("boundset");
-    choice = select_bound_set(work, order, base_p, bopts);
-    // An oversized bound set recurses on its decomposition functions, whose
-    // real cost the estimate below can only bound loosely — require it to beat the in-budget bound set before accepting one. The
-    // Synthesizer-level portfolio (see core/synthesizer.cpp) protects
-    // against the cases where even that is too optimistic.
-    for (int p = base_p + 1; p <= max_p; ++p) {
-      BoundSetChoice cand = select_bound_set(work, order, p, bopts);
-      const long cur = std::max(0L, adjusted_benefit(choice));
-      if (choice.vars.empty() || adjusted_benefit(cand) > cur)
-        choice = std::move(cand);
-    }
-  }
-  if (c.opts.trace)
-    std::fprintf(stderr, "[%8.0fms synth d=%d] sifted+bound set, p=%zu benefit=%ld\n",
-                 trace_ms(), depth, choice.vars.size(), choice.benefit);
-
-  if (choice.vars.empty() || adjusted_benefit(choice) <= 0) {
-    const std::vector<int> sigs = fallback_emit(c, work, work_ids, depth);
-    for (std::size_t i = 0; i < big.size(); ++i) result[big[i]] = sigs[i];
-    return result;
-  }
-  const std::vector<int>& bound = choice.vars;
-
-  // ---- steps 2 + 3: don't-care assignment over the bound set -----------
-  std::vector<CofactorTable> tables;
-  tables.reserve(work.size());
-  for (const Isf& f : work) tables.push_back(cofactor_table(f, bound));
-
-  if (c.opts.exploit_dc && c.opts.dc_joint) {
-    obs::ScopedPhase phase("share");
-    assign_joint(tables, c.opts.seed);
-  }
-
-  std::vector<std::vector<int>> partitions;
-  if (c.opts.total_minimal_code) {
-    // [10]-style: one joint partition for every output. Vertices with
-    // identical cofactors across all outputs share a class; the shared code
-    // of that partition is trivially strict for every output.
-    if (c.opts.exploit_dc && c.opts.dc_per_output &&
-        c.gov->degrade_level() < kDegradeNoDcSteps)
-      assign_per_output(tables, c.opts.seed);
-    std::map<std::vector<std::pair<bdd::Edge, bdd::Edge>>, int> classes;
-    std::vector<int> joint(tables.front().entries.size());
-    for (std::size_t v = 0; v < joint.size(); ++v) {
-      std::vector<std::pair<bdd::Edge, bdd::Edge>> key;
-      key.reserve(tables.size());
-      for (const CofactorTable& t : tables)
-        key.emplace_back(t.entries[v].on().id(), t.entries[v].care().id());
-      joint[v] = classes.emplace(std::move(key), static_cast<int>(classes.size()))
-                     .first->second;
-    }
-    partitions.assign(tables.size(), joint);
-  } else if (c.opts.exploit_dc && c.opts.dc_per_output &&
-             c.gov->degrade_level() < kDegradeNoDcSteps) {
-    // Step 3 is the other DC step shed at ladder level 2.
-    obs::ScopedPhase phase("per_output");
-    partitions = assign_per_output(tables, c.opts.seed);
-  } else {
-    partitions.reserve(tables.size());
-    for (const CofactorTable& t : tables) partitions.push_back(partition_by_equality(t));
-  }
-
-  if (c.opts.trace) std::fprintf(stderr, "[%8.0fms synth d=%d] dc steps done\n", trace_ms(), depth);
-
-  // ---- encode the decomposition functions ---------------------------------
-  const Encoding enc = [&] {
-    obs::ScopedPhase phase("encode");
-    return encode_shared(partitions, static_cast<int>(bound.size()),
-                         c.opts.share_functions);
-  }();
-  assert(encoding_is_valid(enc, partitions));
-
-  // Re-check actual progress: the joint assignment optimizes sharing and may
-  // cost individual outputs classes relative to the search's quick estimate,
-  // and an oversized bound set must still pay for its alpha trees.
-  {
-    long actual_benefit = 0;
-    std::vector<std::vector<int>> supports;
-    for (const Isf& f : work) supports.push_back(f.support());
-    for (std::size_t i = 0; i < work.size(); ++i) {
-      int cut = 0;
-      for (int v : supports[i])
-        if (std::find(bound.begin(), bound.end(), v) != bound.end()) ++cut;
-      actual_benefit += cut - code_length(num_classes(partitions[i]));
-    }
-    if (static_cast<int>(bound.size()) > k)
-      actual_benefit -= static_cast<long>(enc.total_functions()) *
-                        (alpha_tree_luts(static_cast<int>(bound.size())) - 1);
-    if (actual_benefit <= 0) {
-      const std::vector<int> sigs = fallback_emit(c, work, work_ids, depth);
-      for (std::size_t i = 0; i < big.size(); ++i) result[big[i]] = sigs[i];
-      return result;
-    }
-  }
-  ++c.stats.decomposition_steps;
-  c.stats.total_decomposition_functions += enc.total_functions();
-  c.stats.encoding_pool_hits += enc.pool_hits;
-  for (std::size_t i = 0; i < work.size(); ++i) c.stats.sum_r += enc.r(static_cast<int>(i));
-  obs::add("decomp.steps");
-  obs::add("decomp.functions_emitted", static_cast<std::uint64_t>(enc.total_functions()));
-
-  std::vector<int> code_vars(static_cast<std::size_t>(enc.total_functions()));
-  if (static_cast<int>(bound.size()) <= k) {
-    // Every decomposition function fits one LUT. Emission goes through the
-    // alpha pool: the same (inputs, table) — possibly from another output or
-    // an earlier step over the same bound signals — reuses the existing LUT.
-    for (int j = 0; j < enc.total_functions(); ++j) {
-      net::Lut lut;
-      for (int v : bound) lut.inputs.push_back(c.signal_of(v));
-      lut.table = enc.functions[static_cast<std::size_t>(j)];
-      const int sig = c.emit_alpha(std::move(lut));
-      const int var = m.add_var();
-      c.bind(var, sig);
-      code_vars[static_cast<std::size_t>(j)] = var;
-    }
-  } else {
-    // Oversized bound set: rebuild each alpha as a BDD over the bound
-    // variables and decompose it recursively (Section 2: "decomposition has
-    // to be applied recursively to alpha and g").
-    std::vector<Isf> alpha_fns;
-    alpha_fns.reserve(static_cast<std::size_t>(enc.total_functions()));
-    for (int j = 0; j < enc.total_functions(); ++j) {
-      bdd::Bdd alpha = m.bdd_false();
-      const auto& fn = enc.functions[static_cast<std::size_t>(j)];
-      for (std::size_t v = 0; v < fn.size(); ++v) {
-        if (!fn[v]) continue;
-        bdd::Bdd minterm = m.bdd_true();
-        for (std::size_t bIdx = 0; bIdx < bound.size(); ++bIdx)
-          minterm &= m.literal(bound[bIdx], (v >> bIdx) & 1);
-        alpha |= minterm;
-      }
-      alpha_fns.push_back(Isf::completely_specified(alpha));
-    }
-    const std::vector<int> alpha_ids(alpha_fns.size(), kInternalId);
-    obs::ScopedPhase recurse_phase("recurse");
-    const std::vector<int> alpha_sigs =
-        synth(c, std::move(alpha_fns), alpha_ids, depth + 1);
-    for (int j = 0; j < enc.total_functions(); ++j) {
-      const int var = m.add_var();
-      c.bind(var, alpha_sigs[static_cast<std::size_t>(j)]);
-      code_vars[static_cast<std::size_t>(j)] = var;
-    }
-  }
-
-  // ---- build the composition functions ------------------------------------
-  std::vector<Isf> g_fns;
-  g_fns.reserve(work.size());
-  for (std::size_t i = 0; i < work.size(); ++i) {
-    const auto& used = enc.used[i];
-    bdd::Bdd g_on = m.bdd_false();
-    bdd::Bdd g_care = m.bdd_false();
-    for (std::size_t v = 0; v < tables[i].entries.size(); ++v) {
-      const std::uint32_t code = enc.code_of(static_cast<int>(i), static_cast<int>(v));
-      bdd::Bdd cube = m.bdd_true();
-      for (std::size_t j = 0; j < used.size(); ++j)
-        cube &= m.literal(code_vars[static_cast<std::size_t>(used[j])], (code >> j) & 1);
-      g_on |= cube & tables[i].entries[v].on();
-      g_care |= cube & tables[i].entries[v].care();
-    }
-    g_fns.emplace_back(g_on, g_care);
-  }
-
-  tables.clear();
-  work.clear();
-  m.garbage_collect();
-
-  obs::ScopedPhase recurse_phase("recurse");
-  const std::vector<int> sigs = synth(c, std::move(g_fns), work_ids, depth + 1);
+  const std::vector<int> sigs =
+      decomposition_step(c, std::move(work), work_ids, depth);
   for (std::size_t i = 0; i < big.size(); ++i) result[big[i]] = sigs[i];
   return result;
 }
 
 }  // namespace
+
+std::vector<int> synth(Ctx& c, std::vector<Isf> fns, const std::vector<int>& ids,
+                       int depth) {
+  ResourceGovernor& gov = *c.gov;
+  for (;;) {
+    const int level = gov.degrade_level();
+    try {
+      if (level >= kDegradeStructural) {
+        ResourceGovernor::SuspendScope suspend(gov);
+        return synth_attempt(c, fns, ids, depth);
+      }
+      return synth_attempt(c, fns, ids, depth);
+    } catch (const BudgetExceeded& e) {
+      if (level >= kDegradeStructural) throw;  // even the suspended floor failed
+      gov.raise_degrade(level + 1, "decomp.synth@d=" + std::to_string(depth),
+                        e.what());
+      obs::add("decomp.ladder_retries");
+    } catch (const std::bad_alloc&) {
+      if (level >= kDegradeStructural) throw;
+      gov.raise_degrade(level + 1, "decomp.synth@d=" + std::to_string(depth),
+                        "allocation failure (bad_alloc)");
+      obs::add("decomp.ladder_retries");
+    }
+    // LUTs emitted by the aborted attempt are unreferenced (outputs attach
+    // only at the end of decompose) and swept by net.simplify(); BDD
+    // intermediates are dead roots reclaimed by the next garbage collection.
+  }
+}
+
+}  // namespace decomp
 
 namespace {
 
@@ -744,8 +218,9 @@ net::LutNetwork decompose(std::vector<Isf> fns, const std::vector<int>& pi_vars,
   ManagerGovernorBinding bind_mgr(m, gov);
 
   const std::size_t num_outputs = fns.size();
-  Ctx c{m, opts, gov, net::LutNetwork(static_cast<int>(pi_vars.size())), {}, {}, {}, {}};
-  c.var_signal.assign(static_cast<std::size_t>(m.num_vars()), kNoSignal);
+  decomp::Ctx c{m,  opts, gov, net::LutNetwork(static_cast<int>(pi_vars.size())),
+                {}, {},   {},  {}};
+  c.var_signal.assign(static_cast<std::size_t>(m.num_vars()), decomp::kNoSignal);
   c.out_level.assign(num_outputs, kDegradeFull);
   for (std::size_t i = 0; i < pi_vars.size(); ++i)
     c.bind(pi_vars[i], static_cast<int>(i));
@@ -753,7 +228,7 @@ net::LutNetwork decompose(std::vector<Isf> fns, const std::vector<int>& pi_vars,
   std::vector<int> ids(num_outputs);
   for (std::size_t i = 0; i < num_outputs; ++i) ids[i] = static_cast<int>(i);
 
-  const std::vector<int> sigs = synth(c, std::move(fns), ids, 0);
+  const std::vector<int> sigs = decomp::synth(c, std::move(fns), ids, 0);
   for (int s : sigs) c.net.add_output(s);
   // simplify() also sweeps any LUTs stranded by ladder-aborted attempts
   // (outputs only attach here, so such LUTs are dead by construction).

@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "core/errors.h"
+
 namespace mfd::net {
 
 LutNetwork::LutNetwork(int num_primary_inputs) : num_pi_(num_primary_inputs) {}
@@ -18,7 +20,43 @@ int LutNetwork::add_lut(Lut lut) {
   return signal;
 }
 
-void LutNetwork::add_output(int signal) { outputs_.push_back(signal); }
+void LutNetwork::add_output(int signal) {
+  if (!is_valid_signal(signal))
+    throw Error("LutNetwork::add_output: signal " + std::to_string(signal) +
+                " is not a constant, primary input, or existing LUT (" +
+                std::to_string(num_pi_) + " PIs, " + std::to_string(num_luts()) +
+                " LUTs)");
+  outputs_.push_back(signal);
+}
+
+void LutNetwork::replace_lut(int index, Lut lut) {
+  if (index < 0 || index >= num_luts())
+    throw Error("LutNetwork::replace_lut: LUT index " + std::to_string(index) +
+                " out of range (" + std::to_string(num_luts()) + " LUTs)");
+  if (lut.table.size() != (std::size_t{1} << lut.inputs.size()))
+    throw Error("LutNetwork::replace_lut: table size " +
+                std::to_string(lut.table.size()) + " does not match " +
+                std::to_string(lut.inputs.size()) + " inputs");
+  const int signal = lut_signal(index);
+  for (int in : lut.inputs)
+    if (!is_constant(in) && !(in >= 0 && in < signal))
+      throw Error("LutNetwork::replace_lut: fanin " + std::to_string(in) +
+                  " of LUT " + std::to_string(index) +
+                  " is not a constant or a strictly earlier signal");
+  luts_[static_cast<std::size_t>(index)] = std::move(lut);
+}
+
+void LutNetwork::set_output(int index, int signal) {
+  if (index < 0 || index >= num_outputs())
+    throw Error("LutNetwork::set_output: output index " + std::to_string(index) +
+                " out of range (" + std::to_string(num_outputs()) + " outputs)");
+  if (!is_valid_signal(signal))
+    throw Error("LutNetwork::set_output: signal " + std::to_string(signal) +
+                " is not a constant, primary input, or existing LUT (" +
+                std::to_string(num_pi_) + " PIs, " + std::to_string(num_luts()) +
+                " LUTs)");
+  outputs_[static_cast<std::size_t>(index)] = signal;
+}
 
 std::vector<bool> LutNetwork::evaluate(const std::vector<bool>& pi_values) const {
   assert(static_cast<int>(pi_values.size()) == num_pi_);

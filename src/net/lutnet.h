@@ -41,11 +41,24 @@ class LutNetwork {
   int lut_index(int signal) const { return signal - num_pi_; }
   int lut_signal(int index) const { return num_pi_ + index; }
 
+  /// True for constants, primary inputs, and already-added LUT signals.
+  bool is_valid_signal(int signal) const {
+    return is_constant(signal) || (signal >= 0 && signal < num_pi_ + num_luts());
+  }
+
   /// Appends a LUT; all inputs must be existing signals. Returns its signal.
   int add_lut(Lut lut);
-  /// Registers `signal` as the next primary output.
+  /// Registers `signal` as the next primary output. Throws mfd::Error when
+  /// `signal` names neither a constant, a primary input, nor an added LUT.
   void add_output(int signal);
-  void set_output(int index, int signal) { outputs_[static_cast<std::size_t>(index)] = signal; }
+  /// Redirects primary output `index` to `signal`. Throws mfd::Error on an
+  /// out-of-range output index or an invalid signal (passes rewiring the
+  /// network must not be able to corrupt it silently).
+  void set_output(int index, int signal);
+  /// Replaces the LUT driving lut_signal(index) in place, keeping its signal
+  /// id. The new fanins must be constants or signals strictly below it, so
+  /// topological order is preserved; throws mfd::Error otherwise.
+  void replace_lut(int index, Lut lut);
 
   // ---- analysis ---------------------------------------------------------
   /// Evaluates the whole network; `pi_values` has one entry per primary input.
@@ -79,6 +92,15 @@ class LutNetwork {
   static LutKind classify(const Lut& lut);
 
   std::string to_string() const;
+
+  // ---- export -------------------------------------------------------------
+  /// Berkeley BLIF text of the live network (one .names per live LUT,
+  /// constants as single-line covers). `model` names the .model; inputs are
+  /// pi0..., outputs po0..., internal signals n<index>.
+  std::string to_blif(const std::string& model = "lutnet") const;
+  /// Graphviz dot text of the live network (PIs as boxes, LUTs as ellipses
+  /// labelled with fanin count, POs as double circles).
+  std::string to_dot(const std::string& name = "lutnet") const;
 
  private:
   /// Drops inputs the table does not depend on; canonicalizes constants.

@@ -1,0 +1,363 @@
+// Windowed ODC/SDC resubstitution (contract and algorithm sketch in the
+// header). The exactness argument lives here, next to the code that has to
+// uphold it: a LUT t may change its value only on primary-input assignments
+// where every window observable o satisfies S0_o(x) == S1_o(x) — o's value
+// at x does not depend on t's value at x — so *any* new function for t
+// leaves every observable, and hence every network output, bit-identical.
+// Sensitivity is pointwise in x, which is what makes simultaneous flips at
+// many assignments sound.
+#include "net/odc_resubst.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/budget.h"
+#include "isf/isf.h"
+#include "net/lutnet.h"
+#include "obs/obs.h"
+
+namespace mfd::net {
+namespace {
+
+/// Per-sweep view of the network: global signal BDDs, liveness, fanouts.
+struct SweepState {
+  std::vector<bdd::Bdd> signal;     // signal id -> BDD over pi_vars
+  std::vector<bool> live;           // by LUT index
+  std::vector<std::vector<int>> fanouts;  // signal id -> consumer LUT indices
+  std::vector<bool> is_po;          // signal id -> drives a primary output
+
+  bdd::Bdd signal_bdd(const bdd::Manager& m, int s) const {
+    if (s == kConst0) return const_cast<bdd::Manager&>(m).bdd_false();
+    if (s == kConst1) return const_cast<bdd::Manager&>(m).bdd_true();
+    return signal[static_cast<std::size_t>(s)];
+  }
+
+  void refresh(const LutNetwork& net, bdd::Manager& m,
+               const std::vector<int>& pi_vars) {
+    const std::size_t num_signals =
+        static_cast<std::size_t>(net.num_primary_inputs() + net.num_luts());
+    signal.assign(num_signals, bdd::Bdd());
+    for (int i = 0; i < net.num_primary_inputs(); ++i)
+      signal[static_cast<std::size_t>(i)] =
+          m.var(pi_vars[static_cast<std::size_t>(i)]);
+    for (int i = 0; i < net.num_luts(); ++i)
+      signal[static_cast<std::size_t>(net.lut_signal(i))] =
+          lut_bdd(net.lut(i), m, [&](int s) { return signal_bdd(m, s); });
+
+    live = net.live_luts();
+    fanouts.assign(num_signals, {});
+    for (int i = 0; i < net.num_luts(); ++i) {
+      if (!live[static_cast<std::size_t>(i)]) continue;
+      for (int in : net.lut(i).inputs)
+        if (!net.is_constant(in))
+          fanouts[static_cast<std::size_t>(in)].push_back(i);
+    }
+    is_po.assign(num_signals, false);
+    for (int s : net.outputs())
+      if (!net.is_constant(s)) is_po[static_cast<std::size_t>(s)] = true;
+  }
+
+  /// BDD of one LUT given a fanin-BDD lookup (sum of on-set minterms, the
+  /// same construction output_bdds uses).
+  template <typename FaninBdd>
+  static bdd::Bdd lut_bdd(const Lut& lut, bdd::Manager& m, FaninBdd fanin) {
+    bdd::Bdd f = m.bdd_false();
+    for (std::size_t idx = 0; idx < lut.table.size(); ++idx) {
+      if (!lut.table[idx]) continue;
+      bdd::Bdd minterm = m.bdd_true();
+      for (std::size_t j = 0; j < lut.inputs.size(); ++j) {
+        const bdd::Bdd in = fanin(lut.inputs[j]);
+        minterm &= ((idx >> j) & 1) ? in : !in;
+      }
+      f |= minterm;
+    }
+    return f;
+  }
+};
+
+/// The fanout window of LUT t: members by BFS level (min distance from t,
+/// capped at `depth`), in ascending LUT-index order per level set.
+struct Window {
+  std::vector<int> members;  // cone LUT indices, ascending (topo order)
+  std::vector<int> level;    // parallel to members
+  bool too_big = false;
+};
+
+Window build_window(const LutNetwork& net, const SweepState& st, int t_idx,
+                    int depth, int max_luts) {
+  Window w;
+  std::vector<int> dist(static_cast<std::size_t>(net.num_luts()), -1);
+  std::vector<int> frontier = {t_idx};
+  dist[static_cast<std::size_t>(t_idx)] = 0;
+  for (int d = 1; d <= depth && !frontier.empty(); ++d) {
+    std::vector<int> next;
+    for (int u : frontier) {
+      for (int v : st.fanouts[static_cast<std::size_t>(net.lut_signal(u))]) {
+        if (dist[static_cast<std::size_t>(v)] != -1) continue;
+        dist[static_cast<std::size_t>(v)] = d;
+        next.push_back(v);
+        if (static_cast<int>(w.members.size()) + static_cast<int>(next.size()) >
+            max_luts) {
+          w.too_big = true;
+          return w;
+        }
+      }
+    }
+    for (int v : next) w.members.push_back(v);
+    frontier = std::move(next);
+  }
+  std::sort(w.members.begin(), w.members.end());
+  w.level.reserve(w.members.size());
+  for (int u : w.members) w.level.push_back(dist[static_cast<std::size_t>(u)]);
+  return w;
+}
+
+/// Care set of LUT t over primary-input assignments: assignments where some
+/// window observable is sensitive to t's value. Observables are cone members
+/// that drive a primary output or sit on the window frontier (their
+/// consumers were not explored); t itself being a PO makes everything care.
+bdd::Bdd compute_care(const LutNetwork& net, const SweepState& st,
+                      bdd::Manager& m, int t_idx, const Window& w, int depth) {
+  const int t_sig = net.lut_signal(t_idx);
+  if (st.is_po[static_cast<std::size_t>(t_sig)]) return m.bdd_true();
+
+  // S0/S1: each cone signal as a function of the primary inputs with t's
+  // signal forced to 0 / 1. Members are in ascending (= topological) order.
+  std::vector<bdd::Bdd> s0(w.members.size()), s1(w.members.size());
+  auto cone_pos = [&](int lut_idx) {
+    const auto it =
+        std::lower_bound(w.members.begin(), w.members.end(), lut_idx);
+    if (it == w.members.end() || *it != lut_idx) return -1;
+    return static_cast<int>(it - w.members.begin());
+  };
+  for (std::size_t i = 0; i < w.members.size(); ++i) {
+    const Lut& lut = net.lut(w.members[i]);
+    for (int value = 0; value < 2; ++value) {
+      auto fanin = [&](int s) -> bdd::Bdd {
+        if (s == t_sig) return value ? m.bdd_true() : m.bdd_false();
+        if (!net.is_constant(s) && !net.is_primary_input(s)) {
+          const int p = cone_pos(net.lut_index(s));
+          if (p != -1) return value ? s1[static_cast<std::size_t>(p)]
+                                    : s0[static_cast<std::size_t>(p)];
+        }
+        return st.signal_bdd(m, s);
+      };
+      (value ? s1[i] : s0[i]) = SweepState::lut_bdd(lut, m, fanin);
+    }
+  }
+
+  bdd::Bdd care = m.bdd_false();
+  for (std::size_t i = 0; i < w.members.size(); ++i) {
+    const int u = w.members[i];
+    const bool frontier = w.level[i] == depth;
+    const bool po = st.is_po[static_cast<std::size_t>(net.lut_signal(u))];
+    if (!frontier && !po) continue;
+    care |= s0[i] ^ s1[i];
+    if (care.is_true()) break;
+  }
+  return care;
+}
+
+/// Truth-table ISF of one LUT: care bit per fanin pattern, false when no
+/// primary-input assignment both produces the pattern (SDC) and lands in
+/// the ODC care set. Returns false when the table has no don't cares.
+bool table_isf(const LutNetwork& net, const SweepState& st, bdd::Manager& m,
+               int t_idx, const bdd::Bdd& care_set, std::vector<bool>* on,
+               std::vector<bool>* care) {
+  const Lut& lut = net.lut(t_idx);
+  const std::size_t size = lut.table.size();
+  on->assign(size, false);
+  care->assign(size, false);
+  bool any_dc = false;
+  for (std::size_t idx = 0; idx < size; ++idx) {
+    bdd::Bdd producible = care_set;
+    for (std::size_t j = 0; j < lut.inputs.size() && !producible.is_false();
+         ++j) {
+      const bdd::Bdd in = st.signal_bdd(m, lut.inputs[j]);
+      producible &= ((idx >> j) & 1) ? in : !in;
+    }
+    const bool cared = !producible.is_false();
+    (*care)[idx] = cared;
+    (*on)[idx] = cared && lut.table[idx];
+    any_dc |= !cared;
+  }
+  return any_dc;
+}
+
+/// Greedy compatible-fanin elimination on a truth-table ISF: drop dimension
+/// r when the two halves agree wherever both care; merge on/care. Repeats
+/// until no dimension is removable. `rem` receives the surviving positions
+/// (indices into the original fanin list), ascending.
+void remove_compatible_inputs(std::vector<bool>* on, std::vector<bool>* care,
+                              std::vector<int>* rem) {
+  bool removed = true;
+  while (removed && !rem->empty()) {
+    removed = false;
+    for (std::size_t r = 0; r < rem->size(); ++r) {
+      const std::size_t k = rem->size();
+      const std::size_t half = std::size_t{1} << (k - 1);
+      const std::size_t lo_bits = (std::size_t{1} << r) - 1;
+      auto expand = [&](std::size_t idx, bool bit) {
+        return (idx & lo_bits) | (bit ? (std::size_t{1} << r) : 0) |
+               ((idx & ~lo_bits) << 1);
+      };
+      bool compatible = true;
+      for (std::size_t idx = 0; idx < half && compatible; ++idx) {
+        const std::size_t a = expand(idx, false), b = expand(idx, true);
+        if ((*care)[a] && (*care)[b] && (*on)[a] != (*on)[b]) compatible = false;
+      }
+      if (!compatible) continue;
+      std::vector<bool> non(half), ncare(half);
+      for (std::size_t idx = 0; idx < half; ++idx) {
+        const std::size_t a = expand(idx, false), b = expand(idx, true);
+        non[idx] = ((*care)[a] && (*on)[a]) || ((*care)[b] && (*on)[b]);
+        ncare[idx] = (*care)[a] || (*care)[b];
+      }
+      *on = std::move(non);
+      *care = std::move(ncare);
+      rem->erase(rem->begin() + static_cast<std::ptrdiff_t>(r));
+      removed = true;
+      break;  // dimensions shifted; restart the scan
+    }
+  }
+}
+
+/// Completes the remaining don't cares, preferring a small representation:
+/// Coudert-Madre restrict of the on-set w.r.t. the care set on a throwaway
+/// local manager (one variable per surviving fanin), then drops fanins the
+/// chosen extension turned inessential.
+Lut fill_extension(const Lut& old, const std::vector<bool>& on,
+                   const std::vector<bool>& care, std::vector<int> rem) {
+  Lut out;
+  if (rem.empty()) {
+    out.table = {care[0] && on[0]};
+    return out;
+  }
+  const std::size_t k = rem.size();
+  bdd::Manager lm(static_cast<int>(k));
+  bdd::Bdd on_b = lm.bdd_false(), care_b = lm.bdd_false();
+  for (std::size_t idx = 0; idx < (std::size_t{1} << k); ++idx) {
+    if (!care[idx]) continue;
+    bdd::Bdd minterm = lm.bdd_true();
+    for (std::size_t j = 0; j < k; ++j) {
+      const bdd::Bdd v = lm.var(static_cast<int>(j));
+      minterm &= ((idx >> j) & 1) ? v : !v;
+    }
+    care_b |= minterm;
+    if (on[idx]) on_b |= minterm;
+  }
+  const bdd::Bdd ext = Isf(on_b, care_b).extension_small();
+
+  std::vector<bool> table(std::size_t{1} << k);
+  std::vector<bool> assignment(k, false);
+  for (std::size_t idx = 0; idx < table.size(); ++idx) {
+    for (std::size_t j = 0; j < k; ++j) assignment[j] = (idx >> j) & 1;
+    table[idx] = lm.eval(ext.id(), assignment);
+  }
+
+  // The extension may not depend on every surviving fanin — drop the ones
+  // whose cofactor halves became equal.
+  for (std::size_t r = rem.size(); r-- > 0;) {
+    const std::size_t cur = rem.size();
+    const std::size_t half = std::size_t{1} << (cur - 1);
+    const std::size_t lo_bits = (std::size_t{1} << r) - 1;
+    auto expand = [&](std::size_t idx, bool bit) {
+      return (idx & lo_bits) | (bit ? (std::size_t{1} << r) : 0) |
+             ((idx & ~lo_bits) << 1);
+    };
+    bool essential = false;
+    for (std::size_t idx = 0; idx < half && !essential; ++idx)
+      essential = table[expand(idx, false)] != table[expand(idx, true)];
+    if (essential) continue;
+    std::vector<bool> shrunk(half);
+    for (std::size_t idx = 0; idx < half; ++idx)
+      shrunk[idx] = table[expand(idx, false)];
+    table = std::move(shrunk);
+    rem.erase(rem.begin() + static_cast<std::ptrdiff_t>(r));
+  }
+
+  out.inputs.reserve(rem.size());
+  for (int r : rem) out.inputs.push_back(old.inputs[static_cast<std::size_t>(r)]);
+  out.table = std::move(table);
+  return out;
+}
+
+/// RAII governor binding so the pass's BDD work charges the run's budget
+/// through the manager mk hot path (same mechanism the decompose flow uses).
+struct GovernorBinding {
+  GovernorBinding(bdd::Manager& m, ResourceGovernor* g)
+      : m_(m), prev_(m.set_governor(g)) {}
+  ~GovernorBinding() { m_.set_governor(prev_); }
+  GovernorBinding(const GovernorBinding&) = delete;
+  GovernorBinding& operator=(const GovernorBinding&) = delete;
+
+ private:
+  bdd::Manager& m_;
+  ResourceGovernor* prev_;
+};
+
+}  // namespace
+
+bool OdcResubstPass::run(LutNetwork& net, PassContext& ctx) {
+  if (ctx.manager == nullptr || ctx.pi_vars == nullptr) return false;
+  bdd::Manager& m = *ctx.manager;
+  GovernorBinding bind(m, ctx.governor);
+
+  bool any = false;
+  try {
+    SweepState st;
+    for (int iter = 0; iter < opts_.max_iters; ++iter) {
+      obs::add("pass.odc.sweeps");
+      st.refresh(net, m, *ctx.pi_vars);
+      bool changed = false;
+      for (int t = 0; t < net.num_luts(); ++t) {
+        if (!st.live[static_cast<std::size_t>(t)]) continue;
+        if (ctx.governor != nullptr) ctx.governor->check_deadline("pass.odc");
+        obs::add("pass.odc.nodes_scanned");
+
+        const Window w = build_window(net, st, t, opts_.window_depth,
+                                      opts_.max_cone_luts);
+        if (w.too_big) {
+          obs::add("pass.odc.cone_skips");
+          continue;
+        }
+        const bdd::Bdd care_set =
+            compute_care(net, st, m, t, w, opts_.window_depth);
+
+        std::vector<bool> on, care;
+        if (!table_isf(net, st, m, t, care_set, &on, &care)) continue;
+
+        const Lut& old = net.lut(t);
+        std::vector<int> rem(old.inputs.size());
+        for (std::size_t j = 0; j < rem.size(); ++j)
+          rem[j] = static_cast<int>(j);
+        remove_compatible_inputs(&on, &care, &rem);
+        if (rem.size() == old.inputs.size()) continue;  // nothing strictly won
+
+        Lut repl = fill_extension(old, on, care, std::move(rem));
+        const int saved =
+            static_cast<int>(old.inputs.size() - repl.inputs.size());
+        net.replace_lut(t, std::move(repl));
+        obs::add("pass.odc.rewrites");
+        obs::add("pass.odc.fanins_removed", static_cast<std::uint64_t>(saved));
+        changed = true;
+        // Downstream signal functions changed (on don't-care assignments
+        // only, but changed): refresh before judging the next node.
+        st.refresh(net, m, *ctx.pi_vars);
+      }
+      if (!changed) break;
+      any = true;
+      net.simplify();
+      net.collapse(opts_.lut_inputs);
+      m.garbage_collect();
+    }
+  } catch (const BudgetExceeded&) {
+    // Optional quality pass: keep the (always-valid) network we have and let
+    // the rest of the pipeline proceed rather than re-entering the ladder.
+    obs::add("pass.odc.budget_aborts");
+  }
+  return any;
+}
+
+}  // namespace mfd::net
