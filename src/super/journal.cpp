@@ -1,0 +1,277 @@
+#include "super/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "core/errors.h"
+#include "obs/json.h"
+#include "super/jsonv.h"
+
+namespace mfd::super {
+namespace {
+
+constexpr const char* kFormat = "mfd-sweep-journal";
+
+[[noreturn]] void io_fail(const std::string& path, const char* what) {
+  throw Error("journal " + path + ": " + what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, std::string_view data, const std::string& path) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail(path, "write failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Commits `content` to `path` atomically: temp file + fsync + rename +
+/// directory fsync. A crash at any point leaves either the old file or the
+/// new one, never a mix.
+void commit_file(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) io_fail(tmp, "cannot create");
+  write_all(fd, content, tmp);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    io_fail(tmp, "fsync failed");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) io_fail(path, "rename failed");
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {  // best effort: some filesystems refuse directory fsync
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::string format_line(std::string_view payload) {
+  char crc[16];
+  std::snprintf(crc, sizeof crc, "%08x", crc32(payload));
+  std::string line = crc;
+  line += ' ';
+  line += payload;
+  line += '\n';
+  return line;
+}
+
+std::string record_payload(const JournalRecord& rec) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("row");
+  w.key("key").value(rec.key);
+  w.key("status").value(rec.status);
+  w.key("attempts").value(rec.attempts);
+  w.key("outcome").value(rec.outcome);
+  w.key("reason").value(rec.reason);
+  // The run document goes in *as a string*: escape/unescape round-trips the
+  // exact bytes, so a resumed sweep republishes rows bit-identically.
+  w.key("row").value(rec.row_json);
+  w.end_object();
+  return w.str();
+}
+
+/// Validates one journal line; returns false (with a reason) on any damage.
+bool parse_line(std::string_view line, JsonValue* out, std::string* why) {
+  if (line.size() < 10 || line[8] != ' ') {
+    *why = "malformed line framing";
+    return false;
+  }
+  std::uint32_t want = 0;
+  for (int i = 0; i < 8; ++i) {
+    const char c = line[static_cast<std::size_t>(i)];
+    want <<= 4;
+    if (c >= '0' && c <= '9') want |= static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') want |= static_cast<std::uint32_t>(c - 'a' + 10);
+    else {
+      *why = "malformed CRC field";
+      return false;
+    }
+  }
+  const std::string_view payload = line.substr(9);
+  if (crc32(payload) != want) {
+    *why = "CRC mismatch";
+    return false;
+  }
+  try {
+    *out = parse_json(payload);
+  } catch (const Error& e) {
+    *why = e.what();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const auto table = [] {
+    std::vector<std::uint32_t> t(256);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data)
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Journal Journal::create(const std::string& path, const std::string& binary) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("type").value("header");
+  w.key("format").value(kFormat);
+  w.key("version").value(kVersion);
+  w.key("binary").value(binary);
+  w.end_object();
+  commit_file(path, format_line(w.str()));
+  Journal j;
+  j.path_ = path;
+  j.open_for_append();
+  return j;
+}
+
+Journal Journal::open(const std::string& path, RecoveryInfo* info) {
+  std::string content;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) io_fail(path, "cannot open for resume");
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+    if (std::ferror(f) != 0) {
+      std::fclose(f);
+      io_fail(path, "read failed");
+    }
+    std::fclose(f);
+  }
+
+  // Split into lines; a trailing chunk without '\n' is torn by definition
+  // (append writes whole lines).
+  struct Line {
+    std::string_view text;
+    bool complete;
+  };
+  std::vector<Line> lines;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back({std::string_view(content).substr(pos), false});
+      break;
+    }
+    lines.push_back({std::string_view(content).substr(pos, nl - pos), true});
+    pos = nl + 1;
+  }
+  if (lines.empty()) throw Error("journal " + path + ": empty file (no header)");
+
+  // Header: created atomically, so any damage here is real corruption.
+  JsonValue header;
+  std::string why;
+  if (!lines[0].complete || !parse_line(lines[0].text, &header, &why))
+    throw Error("journal " + path + ": corrupt header (" +
+                (lines[0].complete ? why : "torn line") + ")");
+  if (header.string_or("type") != "header" || header.string_or("format") != kFormat)
+    throw Error("journal " + path + ": not a " + kFormat + " file");
+  if (header.int_or("version", -1) != kVersion)
+    throw Error("journal " + path + ": version " +
+                std::to_string(header.int_or("version", -1)) +
+                " is not the supported version " + std::to_string(kVersion));
+
+  Journal j;
+  j.path_ = path;
+  bool dropped = false;
+  std::string dropped_line;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    JsonValue rec;
+    const bool ok = lines[i].complete && parse_line(lines[i].text, &rec, &why);
+    if (!ok) {
+      if (i + 1 == lines.size()) {  // torn tail: at most one record is lost
+        dropped = true;
+        dropped_line = std::string(lines[i].text);
+        break;
+      }
+      throw Error("journal " + path + ": corrupt record at line " +
+                  std::to_string(i + 1) + " (" +
+                  (lines[i].complete ? why : "torn line") +
+                  ") before intact records — refusing to resume");
+    }
+    if (rec.string_or("type") != "row")
+      throw Error("journal " + path + ": unknown record type '" +
+                  rec.string_or("type") + "' at line " + std::to_string(i + 1));
+    JournalRecord r;
+    r.key = rec.string_or("key");
+    r.status = rec.string_or("status");
+    r.attempts = static_cast<int>(rec.int_or("attempts", 1));
+    r.outcome = rec.string_or("outcome");
+    r.reason = rec.string_or("reason");
+    r.row_json = rec.string_or("row");
+    j.by_key_.emplace(r.key, j.records_.size());
+    j.records_.push_back(std::move(r));
+  }
+
+  if (dropped) {
+    // Recommit the cleaned journal atomically before anything is appended.
+    std::string clean;
+    pos = 0;
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+      clean.append(lines[i].text);
+      clean += '\n';
+    }
+    commit_file(path, clean);
+  }
+  if (info != nullptr) {
+    info->records = j.records_.size();
+    info->dropped_torn_tail = dropped;
+    info->torn_tail = dropped_line;
+  }
+  j.open_for_append();
+  return j;
+}
+
+void Journal::open_for_append() {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) io_fail(path_, "cannot open for append");
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      records_(std::move(other.records_)),
+      by_key_(std::move(other.by_key_)) {
+  other.fd_ = -1;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::append(const JournalRecord& rec) {
+  const std::string line = format_line(record_payload(rec));
+  write_all(fd_, line, path_);
+  if (::fsync(fd_) != 0) io_fail(path_, "fsync failed");
+  by_key_.emplace(rec.key, records_.size());
+  records_.push_back(rec);
+}
+
+const JournalRecord* Journal::find(const std::string& key) const {
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : &records_[it->second];
+}
+
+}  // namespace mfd::super

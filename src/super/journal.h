@@ -1,0 +1,100 @@
+// Crash-safe sweep journal: the durability layer of the sweep supervisor
+// (super/supervisor.h, docs/ROBUSTNESS.md §"Sweep supervision").
+//
+// One journal records one sweep. The file is append-only JSONL with a
+// per-line CRC32 guard:
+//
+//   <crc32 hex8> <json document>\n
+//
+// where the CRC covers exactly the JSON payload bytes. The first line is a
+// versioned header ({"type":"header","format":"mfd-sweep-journal",
+// "version":1,...}); every following line is one row outcome. Durability
+// contract:
+//
+//   * `create` commits the header via write-temp + fsync + rename, so a
+//     crash during creation never leaves a half-written journal behind.
+//   * `append` writes the full line with one write(2) and fsyncs before
+//     returning — once append returns, the outcome survives SIGKILL.
+//   * `open` (resume) replays and CRC-verifies every line. A damaged *last*
+//     line — torn write, missing newline, bad CRC — is a torn tail: it is
+//     dropped (at most one record is lost, and the caller is told), and the
+//     cleaned file is recommitted via temp + fsync + rename before any new
+//     append. Damage anywhere *before* the last line cannot be explained by
+//     a torn append, so it is rejected with a typed mfd::Error, as is a
+//     header with the wrong format or version.
+//
+// Keys are caller-chosen row identities (the bench harness uses
+// "circuit/flow"). Replaying is idempotent: `find` returns the journaled
+// outcome so a resumed sweep skips completed rows bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfd::super {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// One journaled row outcome.
+struct JournalRecord {
+  std::string key;       ///< row identity, e.g. "alu2/mulop-dc"
+  std::string status;    ///< "ok" | "failed"
+  int attempts = 1;      ///< child runs this outcome took (retries included)
+  std::string outcome;   ///< final child status name ("ok","crash","timeout",...)
+  std::string reason;    ///< failure detail when status == "failed"
+  std::string row_json;  ///< the child's run document ("" when failed)
+};
+
+/// What `open` had to do to recover the journal.
+struct RecoveryInfo {
+  std::size_t records = 0;         ///< valid row records replayed
+  bool dropped_torn_tail = false;  ///< a damaged last line was discarded
+  std::string torn_tail;           ///< the dropped raw line (diagnostics)
+};
+
+class Journal {
+ public:
+  static constexpr int kVersion = 1;
+
+  /// Creates a fresh journal at `path` (replacing any existing file) with an
+  /// atomically committed header. Throws mfd::Error on I/O failure.
+  static Journal create(const std::string& path, const std::string& binary = {});
+
+  /// Opens an existing journal for resume. Validates header + per-record
+  /// CRCs, drops at most one torn trailing record (reported via `info`),
+  /// throws mfd::Error on interior corruption or a format/version mismatch.
+  static Journal open(const std::string& path, RecoveryInfo* info = nullptr);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&&) = delete;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  /// Appends one outcome and fsyncs. Throws mfd::Error on I/O failure.
+  void append(const JournalRecord& rec);
+
+  /// The journaled outcome for `key`, or nullptr. Records appended in this
+  /// process are visible too; duplicate keys keep the first record (the one
+  /// a resumed sweep replays).
+  const JournalRecord* find(const std::string& key) const;
+
+  const std::vector<JournalRecord>& records() const { return records_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Journal() = default;
+
+  void open_for_append();
+
+  std::string path_;
+  int fd_ = -1;
+  std::vector<JournalRecord> records_;
+  std::map<std::string, std::size_t> by_key_;  // key -> index of first record
+};
+
+}  // namespace mfd::super

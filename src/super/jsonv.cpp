@@ -1,0 +1,300 @@
+#include "super/jsonv.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace mfd::super {
+namespace {
+
+[[noreturn]] void fail(std::size_t at, const std::string& message) {
+  throw Error("json parse error at byte " + std::to_string(at) + ": " + message);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing garbage after document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(pos_, std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail(pos_, "nesting deeper than 256");
+    JsonValue v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_value_inner() {
+    JsonValue v;
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"':
+        v.type = JsonValue::Type::kString;
+        v.string = parse_string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail(pos_, "bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail(pos_, "bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail(pos_, "bad literal");
+        return v;  // kNull
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      v.members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail(pos_ - 1, "expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      v.elements.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail(pos_ - 1, "expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  /// \uXXXX, with surrogate pairs, encoded back to UTF-8. JsonWriter only
+  /// emits \u00XX control escapes, but journals may outlive the writer.
+  std::string parse_unicode_escape() {
+    std::uint32_t cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+      if (!consume_literal("\\u")) fail(pos_, "lone high surrogate");
+      const std::uint32_t lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail(pos_, "bad low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail(pos_, "lone low surrogate");
+    }
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail(pos_, "truncated \\u escape");
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail(pos_ - 1, "bad hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string lit(text_.substr(start, pos_ - start));
+    if (lit.empty() || lit == "-") fail(start, "bad number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    char* end = nullptr;
+    v.number = std::strtod(lit.c_str(), &end);
+    if (end != lit.c_str() + lit.size()) fail(start, "bad number '" + lit + "'");
+    if (integral) {
+      errno = 0;
+      const long long i = std::strtoll(lit.c_str(), &end, 10);
+      if (errno == 0 && end == lit.c_str() + lit.size()) {
+        v.integer = i;
+        v.is_integer = true;
+      }
+    }
+    return v;
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+[[noreturn]] void type_fail(const char* want, JsonValue::Type got) {
+  throw Error(std::string("json type mismatch: wanted ") + want + ", got kind " +
+              std::to_string(static_cast<int>(got)));
+}
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) found = &v;  // last duplicate wins, like most readers
+  return found;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type != Type::kString) type_fail("string", type);
+  return string;
+}
+
+bool JsonValue::as_bool() const {
+  if (type != Type::kBool) type_fail("bool", type);
+  return boolean;
+}
+
+double JsonValue::as_double() const {
+  if (type != Type::kNumber) type_fail("number", type);
+  return number;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  if (type != Type::kNumber) type_fail("number", type);
+  return is_integer ? integer : static_cast<std::int64_t>(std::llround(number));
+}
+
+int JsonValue::as_int() const { return static_cast<int>(as_int64()); }
+
+std::string JsonValue::string_or(std::string_view key, std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->type == Type::kString ? v->string : std::move(fallback);
+}
+
+std::int64_t JsonValue::int_or(std::string_view key, std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->type == Type::kNumber ? v->as_int64() : fallback;
+}
+
+double JsonValue::double_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->type == Type::kNumber ? v->number : fallback;
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->type == Type::kBool ? v->boolean : fallback;
+}
+
+}  // namespace mfd::super

@@ -1,0 +1,63 @@
+// Minimal zero-dependency JSON *reader* — the counterpart of obs::JsonWriter.
+//
+// The supervisor needs to read JSON back: journal records are JSONL
+// (super/journal.h) and a resumed sweep reconstructs bench rows from the
+// journaled run documents. The parser accepts exactly RFC 8259 documents
+// (which is what JsonWriter emits) into a simple tree value. Object members
+// keep insertion order; duplicate keys keep the last value (find returns it).
+//
+// Errors throw mfd::Error with a byte offset, so a corrupt journal line is
+// attributable. This is a strict parser: trailing garbage after the document
+// is an error (parse_json consumes the whole string).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/errors.h"
+
+namespace mfd::super {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  /// Numbers keep both views: `number` always holds the value as a double;
+  /// `integer` is exact when the literal had no fraction/exponent.
+  double number = 0.0;
+  std::int64_t integer = 0;
+  bool is_integer = false;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  std::vector<JsonValue> elements;                         // kArray
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Member lookup (objects only); nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Checked accessors: throw mfd::Error on a type mismatch so a malformed
+  // journal surfaces as a typed error, never as garbage values.
+  const std::string& as_string() const;
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int64() const;
+  int as_int() const;
+
+  // Convenience: member value with a default when the key is missing.
+  std::string string_or(std::string_view key, std::string fallback = {}) const;
+  std::int64_t int_or(std::string_view key, std::int64_t fallback = 0) const;
+  double double_or(std::string_view key, double fallback = 0.0) const;
+  bool bool_or(std::string_view key, bool fallback = false) const;
+};
+
+/// Parses one complete JSON document (leading/trailing whitespace allowed,
+/// anything else after the value is an error). Throws mfd::Error.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace mfd::super

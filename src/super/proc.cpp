@@ -1,0 +1,252 @@
+#include "super/proc.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <new>
+
+#include "core/budget.h"
+#include "core/errors.h"
+#include "super/journal.h"  // crc32
+
+namespace mfd::super {
+namespace {
+
+// Pipe frame: tag byte ('R' result | 'E' error message), u32 LE payload
+// length, u32 LE CRC32 of the payload, payload bytes.
+constexpr std::size_t kFrameHeader = 1 + 4 + 4;
+constexpr std::size_t kMaxPayload = 256u << 20;  // sanity bound, not a quota
+
+// Child exit codes (distinct from anything the flow uses).
+constexpr int kExitOk = 0;
+constexpr int kExitTypedError = 61;
+constexpr int kExitBadAlloc = 62;
+
+extern "C" void sigterm_wind_down(int) {
+  // Async-signal-safe by design: one relaxed atomic store (core/budget.cpp).
+  request_global_expire();
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out += static_cast<char>(v & 0xFF);
+  out += static_cast<char>((v >> 8) & 0xFF);
+  out += static_cast<char>((v >> 16) & 0xFF);
+  out += static_cast<char>((v >> 24) & 0xFF);
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+/// Child side: frame + write + _exit. Uses only write(2); no stdio buffers
+/// are involved, so nothing is lost to _exit.
+[[noreturn]] void child_send_and_exit(int fd, char tag, std::string_view payload,
+                                      int exit_code) {
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  frame += tag;
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload));
+  frame.append(payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::_exit(kExitTypedError);  // parent sees a torn/missing frame => crash
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::_exit(exit_code);
+}
+
+[[noreturn]] void child_main(int fd, const std::function<std::string()>& fn) {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = sigterm_wind_down;
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  try {
+    const std::string payload = fn();
+    child_send_and_exit(fd, 'R', payload, kExitOk);
+  } catch (const std::bad_alloc&) {
+    child_send_and_exit(fd, 'E', "allocation failure (std::bad_alloc)",
+                        kExitBadAlloc);
+  } catch (const std::exception& e) {
+    child_send_and_exit(fd, 'E', e.what(), kExitTypedError);
+  } catch (...) {
+    child_send_and_exit(fd, 'E', "unknown exception", kExitTypedError);
+  }
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGKILL: return "SIGKILL";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGTERM: return "SIGTERM";
+    default: return "signal";
+  }
+}
+
+/// Parses the frame out of everything the pipe delivered. Returns false on a
+/// missing, torn, or CRC-damaged frame.
+bool parse_frame(const std::string& buf, char* tag, std::string* payload) {
+  if (buf.size() < kFrameHeader) return false;
+  const std::uint32_t len = get_u32(buf.data() + 1);
+  const std::uint32_t want = get_u32(buf.data() + 5);
+  if (len > kMaxPayload || buf.size() != kFrameHeader + len) return false;
+  const std::string_view body(buf.data() + kFrameHeader, len);
+  if (crc32(body) != want) return false;
+  *tag = buf[0];
+  *payload = std::string(body);
+  return *tag == 'R' || *tag == 'E';
+}
+
+}  // namespace
+
+const char* child_status_name(ChildStatus s) {
+  switch (s) {
+    case ChildStatus::kOk: return "ok";
+    case ChildStatus::kError: return "error";
+    case ChildStatus::kCrash: return "crash";
+    case ChildStatus::kTimeout: return "timeout";
+    case ChildStatus::kOom: return "oom";
+  }
+  return "?";
+}
+
+ChildOutcome run_in_child(const std::function<std::string()>& fn,
+                          const ChildLimits& limits) {
+  int fds[2];
+  if (::pipe(fds) != 0)
+    throw Error(std::string("supervisor: pipe failed: ") + std::strerror(errno));
+
+  const auto start = std::chrono::steady_clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw Error(std::string("supervisor: fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    child_main(fds[1], fn);  // never returns
+  }
+  ::close(fds[1]);
+
+  // Read the child's record under the watchdog, escalating SIGTERM ->
+  // SIGKILL when it fires. The loop keeps draining the pipe after signals so
+  // a winding-down child can still deliver.
+  std::string buf;
+  bool sigterm_sent = false;
+  bool sigkill_sent = false;
+  bool eof = false;
+  while (!eof) {
+    double wait_ms = -1;  // block
+    const double elapsed = ms_since(start);
+    if (sigkill_sent) {
+      wait_ms = 1000;  // the child is dying; don't block forever on a quirk
+    } else if (sigterm_sent) {
+      wait_ms = limits.watchdog_ms + limits.grace_ms - elapsed;
+    } else if (limits.watchdog_ms > 0) {
+      wait_ms = limits.watchdog_ms - elapsed;
+    }
+    struct pollfd pfd{fds[0], POLLIN, 0};
+    const int timeout =
+        wait_ms < 0 ? -1 : static_cast<int>(wait_ms < 1 ? 1 : wait_ms + 0.5);
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) {  // a deadline passed
+      if (!sigterm_sent) {
+        ::kill(pid, SIGTERM);
+        sigterm_sent = true;
+      } else if (!sigkill_sent) {
+        ::kill(pid, SIGKILL);
+        sigkill_sent = true;
+      } else {
+        break;  // SIGKILLed a second ago and still no EOF: stop reading
+      }
+      continue;
+    }
+    char chunk[1 << 16];
+    const ssize_t n = ::read(fds[0], chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fds[0]);
+
+  int wstatus = 0;
+  while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+
+  ChildOutcome out;
+  out.seconds = ms_since(start) / 1000.0;
+  out.soft_timeout = sigterm_sent;
+  if (WIFEXITED(wstatus)) out.exit_code = WEXITSTATUS(wstatus);
+  if (WIFSIGNALED(wstatus)) out.term_signal = WTERMSIG(wstatus);
+
+  char tag = 0;
+  std::string payload;
+  if (parse_frame(buf, &tag, &payload)) {
+    out.payload = std::move(payload);
+    if (tag == 'R') {
+      out.status = ChildStatus::kOk;
+      out.detail = sigterm_sent ? "completed after SIGTERM wind-down" : "completed";
+    } else {
+      out.status =
+          out.exit_code == kExitBadAlloc ? ChildStatus::kOom : ChildStatus::kError;
+      out.detail = out.status == ChildStatus::kOom ? "child ran out of memory"
+                                                   : "child raised a typed error";
+    }
+    return out;
+  }
+  if (sigterm_sent) {
+    out.status = ChildStatus::kTimeout;
+    out.detail = "watchdog fired after " + std::to_string(limits.watchdog_ms) +
+                 " ms" + (sigkill_sent ? " (SIGKILL escalation)" : "");
+    return out;
+  }
+  if (out.term_signal != 0) {
+    // A SIGKILL we did not send is almost always the kernel OOM killer.
+    out.status =
+        out.term_signal == SIGKILL ? ChildStatus::kOom : ChildStatus::kCrash;
+    out.detail = std::string("child killed by ") + signal_name(out.term_signal);
+    return out;
+  }
+  out.status = ChildStatus::kCrash;
+  out.detail = out.exit_code == 0
+                   ? "child exited without a result record"
+                   : "child exited with code " + std::to_string(out.exit_code) +
+                         " without a result record";
+  return out;
+}
+
+}  // namespace mfd::super

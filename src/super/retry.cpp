@@ -1,0 +1,34 @@
+#include "super/retry.h"
+
+#include <algorithm>
+
+namespace mfd::super {
+
+std::vector<RetryRung> RetryPolicy::default_rungs() {
+  // Rung 0 (first retry): full effort — a latched one-shot fault or a
+  // transient OOM will not recur, and an unchanged rerun keeps results
+  // bit-identical to an undisturbed sweep.
+  // Rung 1: clamp hard enough that the flow degrades instead of re-dying.
+  // Rung 2: the floors CI's tight-budget sweeps run at — every table-1
+  // circuit still emits a verified (structural, if need be) network there.
+  return {{0.0, 0}, {30000.0, 200000}, {2000.0, 2000}};
+}
+
+RetryDecision plan_retry(const RetryPolicy& policy, ChildStatus last, int attempt) {
+  RetryDecision d;
+  const bool abnormal = last == ChildStatus::kCrash || last == ChildStatus::kTimeout ||
+                        last == ChildStatus::kOom;
+  if (!abnormal || attempt > policy.max_retries) return d;
+  d.retry = true;
+  double delay = policy.backoff_ms;
+  for (int i = 1; i < attempt; ++i) delay *= policy.backoff_factor;
+  d.delay_ms = std::min(delay, policy.backoff_max_ms);
+  if (!policy.rungs.empty()) {
+    const std::size_t idx =
+        std::min(static_cast<std::size_t>(attempt - 1), policy.rungs.size() - 1);
+    d.rung = policy.rungs[idx];
+  }
+  return d;
+}
+
+}  // namespace mfd::super

@@ -1,0 +1,58 @@
+// Per-row retry policy of the sweep supervisor: exponential backoff plus
+// budget-tightening rungs (docs/ROBUSTNESS.md §"Sweep supervision").
+//
+// Only *abnormal* outcomes retry — crash, timeout, oom. A typed error is a
+// deterministic verdict (the same inputs fail the same way), so retrying it
+// would only triple the sweep's wall clock; it is journaled as failed at
+// once.
+//
+// The rungs mirror the in-process degradation ladder (core/budget.h) one
+// level up: the first retry re-runs at full effort (the latched fault or
+// transient OOM may simply not recur), and later retries clamp the child's
+// --node-budget / --time-budget-ms so the flow degrades internally instead
+// of dying the same death — a row that keeps crashing at full effort is
+// still recorded with a result (possibly degraded, always verified) before
+// the supervisor ever gives up on it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "super/proc.h"
+
+namespace mfd::super {
+
+/// Budget clamps one retry attempt applies to the child's flow. Zero fields
+/// leave the row's own budget untouched; nonzero fields are *floors* — they
+/// take the minimum with any budget the row already had.
+struct RetryRung {
+  double time_budget_ms = 0.0;
+  std::size_t node_budget = 0;
+};
+
+struct RetryPolicy {
+  /// Extra attempts after the first (0 = never retry).
+  int max_retries = 2;
+  /// Deterministic exponential backoff: delay before retry k (1-based) is
+  /// min(backoff_ms * backoff_factor^(k-1), backoff_max_ms).
+  double backoff_ms = 250.0;
+  double backoff_factor = 4.0;
+  double backoff_max_ms = 10000.0;
+  /// Tightening ladder: retry k runs under rungs[min(k-1, size-1)]. The
+  /// defaults keep the first retry at full effort, then clamp toward the
+  /// floors CI's tight-budget sweeps prove survivable.
+  std::vector<RetryRung> rungs = default_rungs();
+
+  static std::vector<RetryRung> default_rungs();
+};
+
+struct RetryDecision {
+  bool retry = false;
+  double delay_ms = 0.0;
+  RetryRung rung;  ///< budget clamps for the next attempt
+};
+
+/// Plans the response to attempt `attempt` (1-based) finishing with `last`.
+RetryDecision plan_retry(const RetryPolicy& policy, ChildStatus last, int attempt);
+
+}  // namespace mfd::super

@@ -1,0 +1,98 @@
+// The sweep supervisor: crash isolation (super/proc.h) + durable journaling
+// (super/journal.h) + retry-with-backoff (super/retry.h) for long many-row
+// sweeps. docs/ROBUSTNESS.md §"Sweep supervision" is the handbook.
+//
+// One Supervisor instance drives one sweep. Each row is a keyed callback
+// returning its serialized result record; run_row
+//
+//   1. replays the journaled outcome when resuming and the key is already
+//      terminal (the row is NOT re-run — completed work survives a SIGKILL
+//      of the supervisor itself),
+//   2. otherwise forks the row under the watchdog, retrying abnormal deaths
+//      per the policy (backoff + budget-tightening rungs),
+//   3. journals the terminal outcome with fsync before returning, so the
+//      sweep's progress frontier is always durable.
+//
+// Fault-injection bookkeeping: children inherit the armed fault spec but
+// count site hits from zero (hit counts are per row under supervision — see
+// core/faultinject.h). To keep `site@k` rules one-shot across the *sweep*,
+// every firing child reports through MFD_FAULT_FIRED_FILE and the parent
+// latches the fired rule before the next fork, so a crash-kind fault takes
+// down exactly one child and the retry runs clean.
+//
+// Observability (parent-process counters, surfaced in --stats-json):
+//   super.spawned        children forked
+//   super.retries        re-runs after an abnormal death
+//   super.crashes        child deaths classified crash
+//   super.timeouts       watchdog SIGTERM/SIGKILL escalations (no record)
+//   super.soft_timeouts  rows that delivered after the SIGTERM wind-down
+//   super.oom_kills      child deaths classified oom
+//   super.resumed_rows   rows replayed from the journal instead of re-run
+//   super.failed_rows    rows journaled as failed (typed error, or retries
+//                        exhausted)
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "super/journal.h"
+#include "super/proc.h"
+#include "super/retry.h"
+
+namespace mfd::super {
+
+struct SupervisorOptions {
+  /// Journal file. Required: every outcome is journaled.
+  std::string journal_path;
+  /// Replay an existing journal instead of truncating it. When the file does
+  /// not exist yet, a fresh journal is created (so one command line serves
+  /// both the first run and every rerun).
+  bool resume = false;
+  /// Recorded in the journal header (diagnostics only).
+  std::string binary;
+  RetryPolicy retry;
+  ChildLimits limits;
+};
+
+/// The terminal outcome of one row, whether run or replayed.
+struct RowOutcome {
+  std::string key;
+  bool from_journal = false;  ///< replayed: the row callback never ran
+  std::string status;         ///< "ok" | "failed"
+  ChildStatus last_status = ChildStatus::kOk;
+  int attempts = 0;
+  std::string payload;  ///< the row's result record (empty when failed)
+  std::string reason;   ///< failure detail when status == "failed"
+
+  bool ok() const { return status == "ok"; }
+};
+
+class Supervisor {
+ public:
+  /// Creates or (resume) recovers the journal. Throws mfd::Error on an
+  /// unusable journal (interior corruption, version mismatch, I/O failure).
+  explicit Supervisor(const SupervisorOptions& opts);
+  ~Supervisor();
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Runs `fn` in a supervised child (unless journaled), retrying per the
+  /// policy. `fn` receives the attempt's budget-tightening rung ({} for the
+  /// first attempt) and returns the row's serialized record.
+  RowOutcome run_row(const std::string& key,
+                     const std::function<std::string(const RetryRung&)>& fn);
+
+  /// What journal recovery had to do (torn-tail diagnostics).
+  const RecoveryInfo& recovery() const { return recovery_; }
+  const Journal& journal() const { return journal_; }
+
+ private:
+  void latch_child_fault_firings();
+
+  SupervisorOptions opts_;
+  RecoveryInfo recovery_;
+  Journal journal_;
+  std::string fired_file_;
+};
+
+}  // namespace mfd::super

@@ -1,0 +1,521 @@
+// Sweep-supervisor suite: crash-isolated child execution (super/proc.h), the
+// journaled checkpoint/resume store (super/journal.h), retry planning
+// (super/retry.h), and the supervisor that ties them together
+// (super/supervisor.h). docs/ROBUSTNESS.md §"Sweep supervision" states the
+// contracts under test:
+//
+//   * a child crash / hang / OOM costs one attempt, never the process;
+//   * once append() returns, the outcome survives SIGKILL — recovery drops
+//     at most the single torn trailing record and refuses anything worse;
+//   * a resumed sweep replays journaled rows byte-identically and does not
+//     re-run them;
+//   * fault rules stay one-shot across the sweep even though each forked
+//     child counts hits from zero.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/errors.h"
+#include "core/faultinject.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "super/journal.h"
+#include "super/jsonv.h"
+#include "super/proc.h"
+#include "super/retry.h"
+#include "super/supervisor.h"
+
+namespace mfd::super {
+namespace {
+
+// Unique scratch path per test, removed on scope exit (and pre-emptively on
+// entry, in case a previous killed run left one behind).
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& tag)
+      : path_("super_test." + tag + "." + std::to_string(::getpid()) + ".tmp") {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".fault-fired").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 and the JSON reader
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, MatchesTheIeeeCheckVector) {
+  // The canonical CRC-32 check value (zlib, IEEE 802.3).
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST(JsonReader, ParsesScalarsObjectsAndArrays) {
+  const JsonValue v = parse_json(
+      R"({"s":"aA\n","i":-42,"d":2.5,"b":true,"n":null,"a":[1,2,3],"o":{"k":"v"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.string_or("s"), "aA\n");
+  EXPECT_EQ(v.int_or("i"), -42);
+  EXPECT_DOUBLE_EQ(v.double_or("d"), 2.5);
+  EXPECT_TRUE(v.bool_or("b"));
+  ASSERT_NE(v.find("a"), nullptr);
+  ASSERT_EQ(v.find("a")->elements.size(), 3u);
+  EXPECT_EQ(v.find("a")->elements[1].as_int(), 2);
+  EXPECT_EQ(v.find("o")->string_or("k"), "v");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonReader, DecodesSurrogatePairs) {
+  const JsonValue v = parse_json(R"({"smile":"😀"})");
+  EXPECT_EQ(v.string_or("smile"), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonReader, RejectsTrailingGarbageAndTypeMismatch) {
+  EXPECT_THROW(parse_json("{} x"), Error);
+  EXPECT_THROW(parse_json("{\"a\":}"), Error);
+  EXPECT_THROW(parse_json(""), Error);
+  const JsonValue v = parse_json(R"({"i":1})");
+  EXPECT_THROW(v.find("i")->as_string(), Error);
+}
+
+TEST(JsonReader, RoundTripsAnEscapedEmbeddedDocument) {
+  // The journal stores each run document as an escaped JSON *string* field;
+  // resume must get the exact bytes back.
+  const std::string inner = R"({"circuit":"alu2","luts":22,"err":"a\"b\\c"})";
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("row");
+  w.value(inner);
+  w.end_object();
+  const JsonValue v = parse_json(w.str());
+  EXPECT_EQ(v.string_or("row"), inner);
+}
+
+// ---------------------------------------------------------------------------
+// Journal: durability + recovery
+// ---------------------------------------------------------------------------
+
+JournalRecord make_record(const std::string& key, const std::string& row_json) {
+  JournalRecord rec;
+  rec.key = key;
+  rec.status = "ok";
+  rec.attempts = 1;
+  rec.outcome = "ok";
+  rec.row_json = row_json;
+  return rec;
+}
+
+TEST(Journal, RoundTripsRecordsThroughCreateAppendOpen) {
+  ScratchFile f("roundtrip");
+  {
+    Journal j = Journal::create(f.path(), "super_test");
+    j.append(make_record("alu2/mulop-dc", R"({"luts":22})"));
+    JournalRecord failed;
+    failed.key = "b9/mulopII";
+    failed.status = "failed";
+    failed.attempts = 3;
+    failed.outcome = "crash";
+    failed.reason = "child killed by SIGABRT (after 3 attempts)";
+    j.append(failed);
+  }
+  RecoveryInfo info;
+  Journal j = Journal::open(f.path(), &info);
+  EXPECT_EQ(info.records, 2u);
+  EXPECT_FALSE(info.dropped_torn_tail);
+  ASSERT_NE(j.find("alu2/mulop-dc"), nullptr);
+  EXPECT_EQ(j.find("alu2/mulop-dc")->row_json, R"({"luts":22})");
+  ASSERT_NE(j.find("b9/mulopII"), nullptr);
+  EXPECT_EQ(j.find("b9/mulopII")->status, "failed");
+  EXPECT_EQ(j.find("b9/mulopII")->attempts, 3);
+  EXPECT_EQ(j.find("b9/mulopII")->reason, "child killed by SIGABRT (after 3 attempts)");
+  EXPECT_EQ(j.find("nope"), nullptr);
+}
+
+TEST(Journal, DuplicateKeysKeepTheFirstRecord) {
+  ScratchFile f("dup");
+  {
+    Journal j = Journal::create(f.path());
+    j.append(make_record("k", R"({"v":1})"));
+    j.append(make_record("k", R"({"v":2})"));
+  }
+  Journal j = Journal::open(f.path());
+  ASSERT_NE(j.find("k"), nullptr);
+  EXPECT_EQ(j.find("k")->row_json, R"({"v":1})");
+}
+
+TEST(Journal, DropsATornTrailingRecordAndRecommitsTheFile) {
+  ScratchFile f("torn");
+  {
+    Journal j = Journal::create(f.path());
+    j.append(make_record("done", R"({"v":1})"));
+  }
+  // Simulate a child dying mid-append: half a line, no newline.
+  const std::string intact = read_file(f.path());
+  write_file(f.path(), intact + "deadbeef {\"type\":\"row\",\"key\":\"torn");
+  RecoveryInfo info;
+  {
+    Journal j = Journal::open(f.path(), &info);
+    EXPECT_TRUE(info.dropped_torn_tail);
+    EXPECT_EQ(info.records, 1u);
+    ASSERT_NE(j.find("done"), nullptr);
+    EXPECT_EQ(j.find("done")->row_json, R"({"v":1})");
+  }
+  // Recovery recommitted the cleaned file: reopening again finds no damage.
+  EXPECT_EQ(read_file(f.path()), intact);
+  RecoveryInfo again;
+  Journal::open(f.path(), &again);
+  EXPECT_FALSE(again.dropped_torn_tail);
+}
+
+TEST(Journal, DropsATrailingRecordWithABadCrc) {
+  ScratchFile f("badcrc-tail");
+  {
+    Journal j = Journal::create(f.path());
+    j.append(make_record("done", R"({"v":1})"));
+  }
+  const std::string intact = read_file(f.path());
+  // A complete line whose CRC does not match its payload (bits rotted in
+  // flight): still only the tail, still recoverable.
+  write_file(f.path(),
+             intact + "00000000 {\"type\":\"row\",\"key\":\"x\",\"status\":\"ok\"}\n");
+  RecoveryInfo info;
+  Journal j = Journal::open(f.path(), &info);
+  EXPECT_TRUE(info.dropped_torn_tail);
+  EXPECT_EQ(info.records, 1u);
+  EXPECT_EQ(j.find("x"), nullptr);
+}
+
+TEST(Journal, RejectsInteriorCorruption) {
+  ScratchFile f("interior");
+  {
+    Journal j = Journal::create(f.path());
+    j.append(make_record("a", R"({"v":1})"));
+    j.append(make_record("b", R"({"v":2})"));
+  }
+  // Flip one byte inside the FIRST row record (not the tail): a torn append
+  // cannot explain that, so recovery must refuse rather than guess.
+  std::string bytes = read_file(f.path());
+  const std::size_t pos = bytes.find("\"a\"");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos + 1] = 'z';
+  write_file(f.path(), bytes);
+  EXPECT_THROW(Journal::open(f.path()), Error);
+}
+
+TEST(Journal, RefusesAVersionMismatch) {
+  ScratchFile f("version");
+  // Craft a journal whose header is intact (valid CRC) but from the future.
+  const std::string header =
+      R"({"type":"header","format":"mfd-sweep-journal","version":2,"binary":"x"})";
+  char crc[16];
+  std::snprintf(crc, sizeof crc, "%08x", crc32(header));
+  write_file(f.path(), std::string(crc) + " " + header + "\n");
+  EXPECT_THROW(Journal::open(f.path()), Error);
+
+  const std::string alien = R"({"type":"header","format":"other-journal","version":1})";
+  std::snprintf(crc, sizeof crc, "%08x", crc32(alien));
+  write_file(f.path(), std::string(crc) + " " + alien + "\n");
+  EXPECT_THROW(Journal::open(f.path()), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Child process runner: the exit-status taxonomy
+// ---------------------------------------------------------------------------
+
+TEST(ChildRunner, DeliversTheResultRecordVerbatim) {
+  const std::string payload = "bytes \x01 with \"quotes\" and \n newlines";
+  const ChildOutcome out = run_in_child([&] { return payload; }, {});
+  EXPECT_EQ(out.status, ChildStatus::kOk);
+  EXPECT_EQ(out.payload, payload);
+  EXPECT_FALSE(out.soft_timeout);
+  EXPECT_EQ(out.exit_code, 0);
+}
+
+TEST(ChildRunner, ClassifiesATypedErrorWithoutRetryableStatus) {
+  const ChildOutcome out = run_in_child(
+      []() -> std::string { throw Error("deterministic verdict"); }, {});
+  EXPECT_EQ(out.status, ChildStatus::kError);
+  EXPECT_NE(out.payload.find("deterministic verdict"), std::string::npos);
+}
+
+TEST(ChildRunner, ClassifiesAnAbortAsCrash) {
+  const ChildOutcome out =
+      run_in_child([]() -> std::string { std::abort(); }, {});
+  EXPECT_EQ(out.status, ChildStatus::kCrash);
+  EXPECT_EQ(out.term_signal, SIGABRT);
+}
+
+TEST(ChildRunner, ClassifiesBadAllocAsOom) {
+  const ChildOutcome out =
+      run_in_child([]() -> std::string { throw std::bad_alloc(); }, {});
+  EXPECT_EQ(out.status, ChildStatus::kOom);
+}
+
+TEST(ChildRunner, EscalatesTheWatchdogToSigkillOnAHardHang) {
+  ChildLimits limits;
+  limits.watchdog_ms = 200.0;
+  limits.grace_ms = 200.0;
+  const ChildOutcome out = run_in_child(
+      []() -> std::string {
+        // Ignore the SIGTERM wind-down entirely: only SIGKILL ends this.
+        for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      },
+      limits);
+  EXPECT_EQ(out.status, ChildStatus::kTimeout);
+}
+
+TEST(ChildRunner, SigtermWindDownStillDeliversAsSoftTimeout) {
+  ChildLimits limits;
+  limits.watchdog_ms = 150.0;
+  limits.grace_ms = 5000.0;
+  const ChildOutcome out = run_in_child(
+      []() -> std::string {
+        // A cooperative row: poll the same flag the degradation ladder
+        // consults (the child's SIGTERM handler sets it) and finish early.
+        while (!global_expire_requested())
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return "degraded-but-done";
+      },
+      limits);
+  EXPECT_EQ(out.status, ChildStatus::kOk);
+  EXPECT_TRUE(out.soft_timeout);
+  EXPECT_EQ(out.payload, "degraded-but-done");
+}
+
+// ---------------------------------------------------------------------------
+// SIGTERM wind-down plumbing (core/budget.h)
+// ---------------------------------------------------------------------------
+
+TEST(GlobalExpire, TripsEveryGovernorUntilCleared) {
+  ResourceBudget b;  // no deadline at all
+  ResourceGovernor gov(b);
+  EXPECT_FALSE(gov.deadline_expired());
+  request_global_expire();
+  EXPECT_TRUE(gov.deadline_expired());
+  EXPECT_THROW(gov.check_deadline("super_test"), BudgetExceeded);
+  // Governors created after the request observe it too (the handler cannot
+  // know which governor is live).
+  ResourceGovernor late(b);
+  EXPECT_TRUE(late.deadline_expired());
+  clear_global_expire();
+  EXPECT_FALSE(gov.deadline_expired());
+  EXPECT_NO_THROW(gov.check_deadline("super_test"));
+}
+
+// ---------------------------------------------------------------------------
+// Retry planning
+// ---------------------------------------------------------------------------
+
+TEST(RetryPlan, RetriesOnlyAbnormalDeaths) {
+  RetryPolicy p;
+  EXPECT_FALSE(plan_retry(p, ChildStatus::kOk, 1).retry);
+  EXPECT_FALSE(plan_retry(p, ChildStatus::kError, 1).retry);
+  EXPECT_TRUE(plan_retry(p, ChildStatus::kCrash, 1).retry);
+  EXPECT_TRUE(plan_retry(p, ChildStatus::kTimeout, 1).retry);
+  EXPECT_TRUE(plan_retry(p, ChildStatus::kOom, 1).retry);
+}
+
+TEST(RetryPlan, ExhaustsAfterMaxRetriesWithExponentialBackoff) {
+  RetryPolicy p;  // max_retries = 2
+  const RetryDecision d1 = plan_retry(p, ChildStatus::kCrash, 1);
+  ASSERT_TRUE(d1.retry);
+  EXPECT_DOUBLE_EQ(d1.delay_ms, 250.0);
+  const RetryDecision d2 = plan_retry(p, ChildStatus::kCrash, 2);
+  ASSERT_TRUE(d2.retry);
+  EXPECT_DOUBLE_EQ(d2.delay_ms, 1000.0);
+  EXPECT_FALSE(plan_retry(p, ChildStatus::kCrash, 3).retry);
+}
+
+TEST(RetryPlan, FirstRetryKeepsFullEffortThenTightens) {
+  RetryPolicy p;
+  const RetryDecision d1 = plan_retry(p, ChildStatus::kCrash, 1);
+  // Full effort: a latched crash fault or transient OOM must reproduce the
+  // original result bit-identically.
+  EXPECT_DOUBLE_EQ(d1.rung.time_budget_ms, 0.0);
+  EXPECT_EQ(d1.rung.node_budget, 0u);
+  const RetryDecision d2 = plan_retry(p, ChildStatus::kCrash, 2);
+  EXPECT_GT(d2.rung.time_budget_ms, 0.0);
+  EXPECT_GT(d2.rung.node_budget, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor: journaled resume + one-shot faults across children
+// ---------------------------------------------------------------------------
+
+SupervisorOptions fast_options(const std::string& journal_path) {
+  SupervisorOptions o;
+  o.journal_path = journal_path;
+  o.binary = "super_test";
+  o.retry.backoff_ms = 1.0;  // keep the suite fast
+  o.retry.backoff_max_ms = 1.0;
+  return o;
+}
+
+TEST(Supervisor, RequiresAJournalPath) {
+  EXPECT_THROW(Supervisor(SupervisorOptions{}), Error);
+}
+
+TEST(Supervisor, ReplaysJournaledRowsInsteadOfReRunningThem) {
+  ScratchFile f("resume");
+  const std::string doc = R"({"circuit":"alu2","luts":22})";
+  int runs = 0;
+  {
+    Supervisor sup(fast_options(f.path()));
+    const RowOutcome out = sup.run_row("alu2/mulop-dc", [&](const RetryRung&) {
+      ++runs;
+      return doc;
+    });
+    EXPECT_TRUE(out.ok());
+    EXPECT_FALSE(out.from_journal);
+    // runs stays 0 in THIS process: the callback executed in the fork.
+    EXPECT_EQ(runs, 0);
+    EXPECT_EQ(out.payload, doc);
+  }
+  // A new supervisor with --resume (after, say, a SIGKILL) replays the row
+  // byte-identically and never forks for it.
+  SupervisorOptions o = fast_options(f.path());
+  o.resume = true;
+  Supervisor sup(o);
+  const std::uint64_t resumed_before = obs::counter_value("super.resumed_rows");
+  const RowOutcome out = sup.run_row("alu2/mulop-dc", [&](const RetryRung&) {
+    ++runs;
+    return std::string("never");
+  });
+  EXPECT_EQ(runs, 0);
+  EXPECT_TRUE(out.from_journal);
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.payload, doc);
+  EXPECT_EQ(obs::counter_value("super.resumed_rows"), resumed_before + 1);
+}
+
+TEST(Supervisor, JournalsATypedErrorAsFailedWithoutRetrying) {
+  ScratchFile f("typed");
+  Supervisor sup(fast_options(f.path()));
+  const RowOutcome out = sup.run_row("bad/row", [](const RetryRung&) -> std::string {
+    throw Error("no such circuit");
+  });
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.attempts, 1);  // deterministic: retrying would not help
+  EXPECT_NE(out.reason.find("no such circuit"), std::string::npos);
+  ASSERT_NE(sup.journal().find("bad/row"), nullptr);
+  EXPECT_EQ(sup.journal().find("bad/row")->status, "failed");
+}
+
+TEST(Supervisor, CrashFaultFiresExactlyOnceAcrossTheSweep) {
+  ScratchFile f("crash-once");
+  // Arm a crash at the first hit of a real instrumented site, then hit that
+  // site from the row callback. Attempt 1 aborts in its child; the child's
+  // firing report must latch the rule in the parent so attempt 2 (and every
+  // later row) runs clean.
+  fault::configure("decomp.boundset@1:crash");
+  const std::uint64_t crashes_before = obs::counter_value("super.crashes");
+  const std::uint64_t retries_before = obs::counter_value("super.retries");
+  {
+    Supervisor sup(fast_options(f.path()));
+    const RowOutcome out = sup.run_row("row/one", [](const RetryRung&) {
+      fault::point("decomp.boundset");
+      return std::string(R"({"v":1})");
+    });
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.attempts, 2);
+    EXPECT_EQ(out.payload, R"({"v":1})");
+    const RowOutcome next = sup.run_row("row/two", [](const RetryRung&) {
+      fault::point("decomp.boundset");  // hit 1 again in a fresh child
+      return std::string(R"({"v":2})");
+    });
+    EXPECT_TRUE(next.ok());
+    EXPECT_EQ(next.attempts, 1);  // the latched rule did not re-fire
+  }
+  fault::clear();
+  EXPECT_EQ(obs::counter_value("super.crashes"), crashes_before + 1);
+  EXPECT_EQ(obs::counter_value("super.retries"), retries_before + 1);
+}
+
+TEST(Supervisor, HangFaultIsCaughtByTheWatchdogExactlyOnce) {
+  ScratchFile f("hang-once");
+  fault::configure("decomp.boundset@1:hang");
+  const std::uint64_t timeouts_before = obs::counter_value("super.timeouts");
+  {
+    SupervisorOptions o = fast_options(f.path());
+    o.limits.watchdog_ms = 200.0;
+    o.limits.grace_ms = 200.0;
+    Supervisor sup(o);
+    const RowOutcome out = sup.run_row("row/hang", [](const RetryRung&) {
+      fault::point("decomp.boundset");
+      return std::string(R"({"v":1})");
+    });
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.attempts, 2);
+  }
+  fault::clear();
+  EXPECT_EQ(obs::counter_value("super.timeouts"), timeouts_before + 1);
+}
+
+TEST(Supervisor, ExhaustedRetriesJournalAFailedRowThatResumeReplays) {
+  ScratchFile f("exhaust");
+  SupervisorOptions o = fast_options(f.path());
+  o.retry.max_retries = 1;
+  const std::uint64_t failed_before = obs::counter_value("super.failed_rows");
+  {
+    Supervisor sup(o);
+    const RowOutcome out = sup.run_row(
+        "always/crashes", [](const RetryRung&) -> std::string { std::abort(); });
+    EXPECT_FALSE(out.ok());
+    EXPECT_EQ(out.attempts, 2);
+    EXPECT_EQ(out.last_status, ChildStatus::kCrash);
+  }
+  EXPECT_EQ(obs::counter_value("super.failed_rows"), failed_before + 1);
+  // The verdict is durable: a resume does not retry the poisoned row.
+  o.resume = true;
+  Supervisor sup(o);
+  const RowOutcome replay = sup.run_row(
+      "always/crashes", [](const RetryRung&) -> std::string { std::abort(); });
+  EXPECT_TRUE(replay.from_journal);
+  EXPECT_FALSE(replay.ok());
+}
+
+TEST(Supervisor, LaterRetriesTightenTheBudgetRung) {
+  ScratchFile f("rungs");
+  SupervisorOptions o = fast_options(f.path());
+  o.retry.max_retries = 2;
+  Supervisor sup(o);
+  // The child reports the rung it was handed; crash unless it got clamps.
+  const RowOutcome out = sup.run_row("tighten/me", [](const RetryRung& rung) {
+    if (rung.node_budget == 0) std::abort();  // attempts 1 and 2 die
+    return std::to_string(rung.node_budget);
+  });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(out.payload, std::to_string(RetryPolicy().rungs[1].node_budget));
+}
+
+}  // namespace
+}  // namespace mfd::super
