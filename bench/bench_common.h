@@ -37,6 +37,11 @@
 //   --max-retries <n>      extra attempts after an abnormal child death
 //   --watchdog-ms <n>      per-attempt wall-clock watchdog (SIGTERM ->
 //                          SIGKILL escalation; default 300000)
+//   --sweep-jobs <n>       supervised row children run concurrently
+//                          (default 1; output is bit-identical for any
+//                          value, see docs/PARALLELISM.md)
+//   --sweep-rss-mb <n>     defer spawns while the children's summed RSS
+//                          exceeds this many MiB (0 = no cap)
 //   --list-fault-sites     print the fault-injection sites/kinds and exit
 // Budget overruns do not crash: the flow degrades (see docs/ROBUSTNESS.md)
 // and the --stats-json record carries the DegradationReport. With
@@ -107,6 +112,8 @@ struct StatsSink {
   std::string journal;        // from --journal (empty = <binary>.journal)
   long max_retries = -1;      // from --max-retries (-1 = policy default)
   double watchdog_ms = 0.0;   // from --watchdog-ms (0 = default 300000)
+  long sweep_jobs = 1;        // from --sweep-jobs (concurrent row children)
+  long sweep_rss_mb = 0;      // from --sweep-rss-mb (0 = no admission cap)
 };
 
 inline StatsSink& sink() {
@@ -231,6 +238,10 @@ inline void init_stats(int* argc, char** argv) {
       s.max_retries = detail::parse_flag_count(flag, value);
     } else if (std::strcmp(flag, "--watchdog-ms") == 0) {
       s.watchdog_ms = static_cast<double>(detail::parse_flag_count(flag, value));
+    } else if (std::strcmp(flag, "--sweep-jobs") == 0) {
+      s.sweep_jobs = std::max(1L, detail::parse_flag_count(flag, value));
+    } else if (std::strcmp(flag, "--sweep-rss-mb") == 0) {
+      s.sweep_rss_mb = detail::parse_flag_count(flag, value);
     } else {  // --fault-inject
       try {
         fault::configure(value);
@@ -245,7 +256,8 @@ inline void init_stats(int* argc, char** argv) {
                                            "--jobs", "--cache-mb",
                                            "--passes", "--dump-net",
                                            "--journal", "--max-retries",
-                                           "--watchdog-ms"};
+                                           "--watchdog-ms", "--sweep-jobs",
+                                           "--sweep-rss-mb"};
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const char* arg = argv[i];
@@ -345,8 +357,10 @@ inline void flush_stats_json() {
     w.key("supervisor").begin_object();
     for (const char* name : {"spawned", "retries", "crashes", "timeouts",
                              "soft_timeouts", "oom_kills", "resumed_rows",
-                             "failed_rows"})
+                             "failed_rows", "admission_waits"})
       w.key(name).value(obs::counter_value(std::string("super.") + name));
+    w.key("concurrent_peak")
+        .value(static_cast<std::int64_t>(obs::gauge_value("super.concurrent_peak")));
     w.end_object();
   }
   w.key("runs").begin_array();
@@ -533,6 +547,8 @@ inline super::Supervisor& supervisor() {
     o.binary = snk.binary;
     if (snk.max_retries >= 0) o.retry.max_retries = static_cast<int>(snk.max_retries);
     o.limits.watchdog_ms = snk.watchdog_ms > 0.0 ? snk.watchdog_ms : 300000.0;
+    o.sweep_jobs = static_cast<int>(snk.sweep_jobs);
+    o.rss_cap_mb = static_cast<double>(snk.sweep_rss_mb);
     return new super::Supervisor(o);
   }();
   return *s;
@@ -585,6 +601,21 @@ inline FlowRun run_flow(const std::string& name, const SynthesisOptions& opts,
     record_run(row);
   }
   return row;
+}
+
+/// Registers a flow for background execution ahead of its run_flow call, so
+/// --sweep-jobs children can overlap independent rows. No-op unless
+/// supervised (sequential binaries need no plan). Call once per upcoming
+/// run_flow, in any order — results still come back in run_flow call order,
+/// so tables and --stats-json stay bit-identical to an unplanned sweep.
+inline void plan_flow(const std::string& name, const SynthesisOptions& opts,
+                      const std::string& flow = "") {
+  if (!detail::sink().supervise) return;
+  const std::string key = flow.empty() ? name : name + "/" + flow;
+  detail::supervisor().plan_row(
+      key, [name, opts, flow](const super::RetryRung& rung) {
+        return detail::flow_run_json(detail::run_flow_local(name, opts, flow, rung));
+      });
 }
 
 inline void print_rule(int width) {

@@ -91,14 +91,19 @@ void report_fired(const char* site, std::uint64_t ordinal, Kind kind) {
   if (path == nullptr || path[0] == '\0') return;
   const int fd = ::open(path, O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd < 0) return;
-  char line[256];
-  const int n = std::snprintf(line, sizeof line, "%s@%llu:%s\n", site,
-                              static_cast<unsigned long long>(ordinal),
-                              kind_name(kind));
-  if (n > 0) {
-    ssize_t ignored = ::write(fd, line, static_cast<std::size_t>(n));
-    (void)ignored;
-  }
+  // Build the whole line, however long the site name is: a record truncated
+  // here would be misparsed (or dropped) by the supervisor's latch pass and
+  // the one-shot rule would fire again in the next child.
+  std::string line;
+  line.reserve(std::char_traits<char>::length(site) + 32);
+  line += site;
+  line += '@';
+  line += std::to_string(static_cast<unsigned long long>(ordinal));
+  line += ':';
+  line += kind_name(kind);
+  line += '\n';
+  ssize_t ignored = ::write(fd, line.data(), line.size());
+  (void)ignored;
   ::close(fd);
 }
 

@@ -54,6 +54,10 @@ struct RecoveryInfo {
   std::size_t records = 0;         ///< valid row records replayed
   bool dropped_torn_tail = false;  ///< a damaged last line was discarded
   std::string torn_tail;           ///< the dropped raw line (diagnostics)
+  /// --resume was requested but no journal existed at the path, so a fresh
+  /// one was created and every row will re-run (supervisor warns loudly:
+  /// a typo'd --journal must not masquerade as a clean resume).
+  bool fresh_despite_resume = false;
 };
 
 class Journal {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 namespace mfd::super {
 namespace {
@@ -275,7 +276,13 @@ std::int64_t JsonValue::as_int64() const {
   return is_integer ? integer : static_cast<std::int64_t>(std::llround(number));
 }
 
-int JsonValue::as_int() const { return static_cast<int>(as_int64()); }
+int JsonValue::as_int() const {
+  const std::int64_t v = as_int64();
+  if (v < static_cast<std::int64_t>(std::numeric_limits<int>::min()) ||
+      v > static_cast<std::int64_t>(std::numeric_limits<int>::max()))
+    throw Error("json number " + std::to_string(v) + " does not fit in int");
+  return static_cast<int>(v);
+}
 
 std::string JsonValue::string_or(std::string_view key, std::string fallback) const {
   const JsonValue* v = find(key);

@@ -1,14 +1,16 @@
 #include "super/proc.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <new>
+#include <utility>
 
 #include "core/budget.h"
 #include "core/errors.h"
@@ -21,6 +23,10 @@ namespace {
 // length, u32 LE CRC32 of the payload, payload bytes.
 constexpr std::size_t kFrameHeader = 1 + 4 + 4;
 constexpr std::size_t kMaxPayload = 256u << 20;  // sanity bound, not a quota
+
+// How long to keep draining the pipe of a child that was already SIGKILLed
+// before declaring it silent (a quirky kernel may deliver EOF late).
+constexpr double kPostKillDrainMs = 1000.0;
 
 // Child exit codes (distinct from anything the flow uses).
 constexpr int kExitOk = 0;
@@ -68,12 +74,19 @@ std::uint32_t get_u32(const char* p) {
   ::_exit(exit_code);
 }
 
-[[noreturn]] void child_main(int fd, const std::function<std::string()>& fn) {
+[[noreturn]] void child_main(int fd, const std::function<std::string()>& fn,
+                             const std::string& fired_file) {
   struct sigaction sa;
   std::memset(&sa, 0, sizeof sa);
   sa.sa_handler = sigterm_wind_down;
   sa.sa_flags = SA_RESTART;
   ::sigaction(SIGTERM, &sa, nullptr);
+  // Route this child's fault-firing reports into its private file so the
+  // parent can latch them at reap time without racing sibling children.
+  // The override lives only in the forked child; the parent's environment
+  // (possibly user-owned) is never modified.
+  if (!fired_file.empty())
+    ::setenv("MFD_FAULT_FIRED_FILE", fired_file.c_str(), 1);
   try {
     const std::string payload = fn();
     child_send_and_exit(fd, 'R', payload, kExitOk);
@@ -85,12 +98,6 @@ std::uint32_t get_u32(const char* p) {
   } catch (...) {
     child_send_and_exit(fd, 'E', "unknown exception", kExitTypedError);
   }
-}
-
-double ms_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                   start)
-      .count();
 }
 
 const char* signal_name(int sig) {
@@ -133,93 +140,124 @@ const char* child_status_name(ChildStatus s) {
   return "?";
 }
 
-ChildOutcome run_in_child(const std::function<std::string()>& fn,
-                          const ChildLimits& limits) {
-  int fds[2];
-  if (::pipe(fds) != 0)
-    throw Error(std::string("supervisor: pipe failed: ") + std::strerror(errno));
+Child::Child(Child&& other) noexcept { *this = std::move(other); }
 
-  const auto start = std::chrono::steady_clock::now();
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    ::close(fds[0]);
-    ::close(fds[1]);
-    throw Error(std::string("supervisor: fork failed: ") + std::strerror(errno));
+Child& Child::operator=(Child&& other) noexcept {
+  if (this == &other) return *this;
+  if (pid_ > 0 && !reaped_) {  // dropping a live child: don't leak a process
+    ::kill(pid_, SIGKILL);
+    int wstatus = 0;
+    while (::waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
+    }
   }
-  if (pid == 0) {
-    ::close(fds[0]);
-    child_main(fds[1], fn);  // never returns
-  }
-  ::close(fds[1]);
+  if (fd_ >= 0) ::close(fd_);
+  pid_ = other.pid_;
+  fd_ = other.fd_;
+  start_ = other.start_;
+  limits_ = other.limits_;
+  fired_file_ = std::move(other.fired_file_);
+  buf_ = std::move(other.buf_);
+  sigterm_sent_ = other.sigterm_sent_;
+  sigkill_sent_ = other.sigkill_sent_;
+  sigkill_at_ms_ = other.sigkill_at_ms_;
+  eof_ = other.eof_;
+  reaped_ = other.reaped_;
+  other.pid_ = -1;
+  other.fd_ = -1;
+  other.reaped_ = true;
+  return *this;
+}
 
-  // Read the child's record under the watchdog, escalating SIGTERM ->
-  // SIGKILL when it fires. The loop keeps draining the pipe after signals so
-  // a winding-down child can still deliver.
-  std::string buf;
-  bool sigterm_sent = false;
-  bool sigkill_sent = false;
-  bool eof = false;
-  while (!eof) {
-    double wait_ms = -1;  // block
-    const double elapsed = ms_since(start);
-    if (sigkill_sent) {
-      wait_ms = 1000;  // the child is dying; don't block forever on a quirk
-    } else if (sigterm_sent) {
-      wait_ms = limits.watchdog_ms + limits.grace_ms - elapsed;
-    } else if (limits.watchdog_ms > 0) {
-      wait_ms = limits.watchdog_ms - elapsed;
+Child::~Child() {
+  if (pid_ > 0 && !reaped_) {
+    ::kill(pid_, SIGKILL);
+    int wstatus = 0;
+    while (::waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
     }
-    struct pollfd pfd{fds[0], POLLIN, 0};
-    const int timeout =
-        wait_ms < 0 ? -1 : static_cast<int>(wait_ms < 1 ? 1 : wait_ms + 0.5);
-    const int rc = ::poll(&pfd, 1, timeout);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      break;
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+double Child::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Child::next_deadline_ms() const {
+  if (eof_) return -1.0;  // nothing left to wait for: reap at will
+  const double elapsed = elapsed_ms();
+  if (sigkill_sent_)
+    return sigkill_at_ms_ + kPostKillDrainMs - elapsed;
+  if (sigterm_sent_)
+    return limits_.watchdog_ms + limits_.grace_ms - elapsed;
+  if (limits_.watchdog_ms > 0)
+    return limits_.watchdog_ms - elapsed;
+  return -1.0;
+}
+
+void Child::poke_watchdog() {
+  if (eof_ || reaped_) return;
+  const double elapsed = elapsed_ms();
+  if (!sigterm_sent_) {
+    if (limits_.watchdog_ms > 0 && elapsed >= limits_.watchdog_ms) {
+      ::kill(pid_, SIGTERM);
+      sigterm_sent_ = true;
     }
-    if (rc == 0) {  // a deadline passed
-      if (!sigterm_sent) {
-        ::kill(pid, SIGTERM);
-        sigterm_sent = true;
-      } else if (!sigkill_sent) {
-        ::kill(pid, SIGKILL);
-        sigkill_sent = true;
-      } else {
-        break;  // SIGKILLed a second ago and still no EOF: stop reading
-      }
+  } else if (!sigkill_sent_) {
+    if (elapsed >= limits_.watchdog_ms + limits_.grace_ms) {
+      ::kill(pid_, SIGKILL);
+      sigkill_sent_ = true;
+      sigkill_at_ms_ = elapsed;
+    }
+  } else if (elapsed >= sigkill_at_ms_ + kPostKillDrainMs) {
+    eof_ = true;  // SIGKILLed a while ago and still no EOF: stop reading
+  }
+}
+
+void Child::pump() {
+  if (eof_ || fd_ < 0) return;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
       continue;
     }
-    char chunk[1 << 16];
-    const ssize_t n = ::read(fds[0], chunk, sizeof chunk);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
     if (n == 0) {
-      eof = true;
-      break;
+      eof_ = true;
+      return;
     }
-    buf.append(chunk, static_cast<std::size_t>(n));
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained for now
+    eof_ = true;  // unexpected pipe error: treat as end of delivery
+    return;
   }
-  ::close(fds[0]);
+}
 
-  int wstatus = 0;
-  while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+ChildOutcome Child::reap() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
   }
+  int wstatus = 0;
+  while (::waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+  reaped_ = true;
 
   ChildOutcome out;
-  out.seconds = ms_since(start) / 1000.0;
-  out.soft_timeout = sigterm_sent;
+  out.seconds = elapsed_ms() / 1000.0;
+  out.soft_timeout = sigterm_sent_;
   if (WIFEXITED(wstatus)) out.exit_code = WEXITSTATUS(wstatus);
   if (WIFSIGNALED(wstatus)) out.term_signal = WTERMSIG(wstatus);
 
   char tag = 0;
   std::string payload;
-  if (parse_frame(buf, &tag, &payload)) {
+  if (parse_frame(buf_, &tag, &payload)) {
     out.payload = std::move(payload);
     if (tag == 'R') {
       out.status = ChildStatus::kOk;
-      out.detail = sigterm_sent ? "completed after SIGTERM wind-down" : "completed";
+      out.detail = sigterm_sent_ ? "completed after SIGTERM wind-down" : "completed";
     } else {
       out.status =
           out.exit_code == kExitBadAlloc ? ChildStatus::kOom : ChildStatus::kError;
@@ -228,10 +266,10 @@ ChildOutcome run_in_child(const std::function<std::string()>& fn,
     }
     return out;
   }
-  if (sigterm_sent) {
+  if (sigterm_sent_) {
     out.status = ChildStatus::kTimeout;
-    out.detail = "watchdog fired after " + std::to_string(limits.watchdog_ms) +
-                 " ms" + (sigkill_sent ? " (SIGKILL escalation)" : "");
+    out.detail = "watchdog fired after " + std::to_string(limits_.watchdog_ms) +
+                 " ms" + (sigkill_sent_ ? " (SIGKILL escalation)" : "");
     return out;
   }
   if (out.term_signal != 0) {
@@ -247,6 +285,78 @@ ChildOutcome run_in_child(const std::function<std::string()>& fn,
                    : "child exited with code " + std::to_string(out.exit_code) +
                          " without a result record";
   return out;
+}
+
+std::size_t Child::rss_bytes() const {
+#ifdef __linux__
+  if (pid_ <= 0 || reaped_) return 0;
+  char path[64];
+  std::snprintf(path, sizeof path, "/proc/%d/statm", static_cast<int>(pid_));
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return 0;
+  unsigned long size = 0, resident = 0;
+  const int got = std::fscanf(f, "%lu %lu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  static const long page = ::sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+Child spawn_child(const std::function<std::string()>& fn,
+                  const ChildLimits& limits, const std::string& fired_file) {
+  int fds[2];
+  if (::pipe(fds) != 0)
+    throw Error(std::string("supervisor: pipe failed: ") + std::strerror(errno));
+
+  Child c;
+  c.start_ = std::chrono::steady_clock::now();
+  c.limits_ = limits;
+  c.fired_file_ = fired_file;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw Error(std::string("supervisor: fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    child_main(fds[1], fn, fired_file);  // never returns
+  }
+  ::close(fds[1]);
+  // Non-blocking read end: a scheduler pumps many children from one poll()
+  // loop and must never block on a half-delivered frame.
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ::fcntl(fds[0], F_SETFL, (flags < 0 ? 0 : flags) | O_NONBLOCK);
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  c.pid_ = pid;
+  c.fd_ = fds[0];
+  return c;
+}
+
+ChildOutcome run_in_child(const std::function<std::string()>& fn,
+                          const ChildLimits& limits) {
+  Child c = spawn_child(fn, limits);
+  while (!c.eof()) {
+    const double wait_ms = c.next_deadline_ms();
+    struct pollfd pfd{c.fd(), POLLIN, 0};
+    const int timeout =
+        wait_ms < 0 ? -1 : static_cast<int>(wait_ms < 1 ? 1 : wait_ms + 0.5);
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) {  // a deadline passed
+      c.poke_watchdog();
+      continue;
+    }
+    c.pump();
+  }
+  return c.reap();
 }
 
 }  // namespace mfd::super

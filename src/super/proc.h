@@ -24,12 +24,30 @@
 // The pipe protocol is length-prefixed and CRC-guarded, so a child that dies
 // mid-write is detected as "no record" rather than a half-parsed one.
 //
-// Fork-safety contract: call run_in_child from a single-threaded parent (the
-// bench harness qualifies: rows run sequentially from main). The child never
+// The surface is split into separable primitives so a scheduler can
+// multiplex many children at once (super/scheduler.h):
+//
+//   spawn_child()        fork + pipe; returns a Child handle
+//   Child::fd()          the read end, non-blocking — poll() it for POLLIN
+//   Child::pump()        drain available record bytes (call on POLLIN/HUP)
+//   Child::poke_watchdog()  fire any due SIGTERM/SIGKILL escalation
+//   Child::next_deadline_ms()  ms until the next watchdog action
+//   Child::reap()        waitpid + classify into a ChildOutcome
+//   Child::rss_bytes()   the child's current resident set (admission caps)
+//
+// run_in_child() remains the one-shot convenience wrapper (spawn → poll/pump
+// to EOF → reap) with exactly the pre-scheduler semantics.
+//
+// Fork-safety contract: spawn from a single-threaded parent (the bench
+// harness qualifies: the scheduler runs on the main thread). The child never
 // returns — it runs the callback, writes the record, and _exit()s, skipping
 // atexit handlers and static destructors.
 #pragma once
 
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstddef>
 #include <functional>
 #include <string>
 
@@ -61,11 +79,85 @@ struct ChildOutcome {
   int term_signal = 0;   ///< valid when the child was killed by a signal
 };
 
-/// Runs `fn` in a forked child and returns its classified outcome. The
-/// string `fn` returns is piped back verbatim as `outcome.payload`. The
+/// One live forked row child. Move-only; the destructor SIGKILLs and reaps
+/// a child that was never reaped, so a scheduler bailing out on an
+/// exception cannot leak a process or an fd.
+class Child {
+ public:
+  Child() = default;
+  Child(Child&& other) noexcept;
+  Child& operator=(Child&& other) noexcept;
+  Child(const Child&) = delete;
+  Child& operator=(const Child&) = delete;
+  ~Child();
+
+  pid_t pid() const { return pid_; }
+  /// Read end of the result pipe (non-blocking). -1 after reap.
+  int fd() const { return fd_; }
+  /// True once the pipe reached EOF (or the post-SIGKILL read window
+  /// closed): the child delivered everything it ever will; reap() it.
+  bool eof() const { return eof_; }
+  bool reaped() const { return reaped_; }
+  double elapsed_ms() const;
+
+  /// Milliseconds until the next watchdog action is due (SIGTERM, the
+  /// SIGKILL escalation, or giving up on a SIGKILLed child's pipe), or a
+  /// negative value when no deadline is pending (no watchdog armed).
+  double next_deadline_ms() const;
+
+  /// Fires whichever watchdog action is due, if any: SIGTERM at
+  /// watchdog_ms, SIGKILL at watchdog_ms + grace_ms, and after a further
+  /// fixed window it stops waiting for the pipe of a SIGKILLed child.
+  void poke_watchdog();
+
+  /// Drains whatever the pipe has ready (call after poll() reports the fd
+  /// readable). Sets eof() when the child closed its end.
+  void pump();
+
+  /// waitpid (blocking) + classify everything the pipe delivered into a
+  /// ChildOutcome. Call once, after eof() — or early to force the issue
+  /// after a SIGKILL. Closes the fd.
+  ChildOutcome reap();
+
+  /// Current resident set size of the child in bytes (via /proc; 0 when
+  /// unreadable or on platforms without /proc). Admission-cap input.
+  std::size_t rss_bytes() const;
+
+  /// The per-child fault-firing report file this child was given (empty
+  /// when none): the parent latches and removes it at reap time.
+  const std::string& fired_file() const { return fired_file_; }
+
+ private:
+  friend Child spawn_child(const std::function<std::string()>&,
+                           const ChildLimits&, const std::string&);
+
+  pid_t pid_ = -1;
+  int fd_ = -1;
+  std::chrono::steady_clock::time_point start_;
+  ChildLimits limits_;
+  std::string fired_file_;
+  std::string buf_;
+  bool sigterm_sent_ = false;
+  bool sigkill_sent_ = false;
+  double sigkill_at_ms_ = 0.0;
+  bool eof_ = false;
+  bool reaped_ = false;
+};
+
+/// Forks `fn` into a watchdogged child and returns its handle. The string
+/// `fn` returns is piped back verbatim as the reaped outcome's payload. The
 /// child installs a SIGTERM handler that requests a global budget wind-down
-/// (request_global_expire) before running `fn`. Throws mfd::Error when the
-/// fork/pipe machinery itself fails (not when the child does).
+/// (request_global_expire) before running `fn`. When `fired_file` is
+/// non-empty the child reports fault-rule firings there (it overrides
+/// MFD_FAULT_FIRED_FILE in the child only — the parent's environment is
+/// never touched), so concurrent children never interleave reports in one
+/// file. Throws mfd::Error when the fork/pipe machinery itself fails (not
+/// when the child does).
+Child spawn_child(const std::function<std::string()>& fn,
+                  const ChildLimits& limits, const std::string& fired_file = {});
+
+/// Runs `fn` in a forked child to completion and returns its classified
+/// outcome: spawn_child + poll/pump under the watchdog + reap in one call.
 ChildOutcome run_in_child(const std::function<std::string()>& fn,
                           const ChildLimits& limits);
 

@@ -1,0 +1,271 @@
+#include "super/scheduler.h"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "core/errors.h"
+#include "core/faultinject.h"
+#include "obs/obs.h"
+
+namespace mfd::super {
+namespace {
+
+/// How often to re-check the RSS admission cap while a spawn is deferred:
+/// children shrink as they finish phases, so waiting for an event would
+/// stall admission until some child exits.
+constexpr double kAdmissionRecheckMs = 50.0;
+
+/// Latches every fault-rule firing a reaped child reported to its private
+/// file (format, one per line: site@ordinal[:kind] — core/faultinject.cpp),
+/// then removes the file. Lines are read whole regardless of length; a
+/// record that does not parse is skipped with a stderr note rather than
+/// misread as a different rule (a truncated read here would un-latch a
+/// one-shot fault and re-fire it in the next child).
+void latch_fired_file(const std::string& path) {
+  if (path.empty()) return;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+      line.pop_back();
+    if (line.empty()) continue;
+    const std::size_t at = line.find('@');
+    bool ok = at != std::string::npos && at > 0;
+    std::uint64_t ordinal = 0;
+    if (ok) {
+      std::size_t colon = line.find(':', at);
+      if (colon == std::string::npos) colon = line.size();
+      const std::string digits = line.substr(at + 1, colon - at - 1);
+      char* end = nullptr;
+      ordinal = std::strtoull(digits.c_str(), &end, 10);
+      ok = !digits.empty() && end == digits.c_str() + digits.size() && ordinal != 0;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "supervisor: skipping malformed fault-firing record "
+                   "'%.120s%s'\n",
+                   line.c_str(), line.size() > 120 ? "..." : "");
+      continue;
+    }
+    fault::latch_fired(line.substr(0, at), ordinal);
+  }
+  in.close();
+  std::remove(path.c_str());
+}
+
+double ms_until(std::chrono::steady_clock::time_point when) {
+  return std::chrono::duration<double, std::milli>(
+             when - std::chrono::steady_clock::now())
+      .count();
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const SchedulerOptions& opts, Journal* journal)
+    : opts_(opts), journal_(journal) {
+  if (opts_.jobs < 1) opts_.jobs = 1;
+}
+
+Scheduler::~Scheduler() = default;  // ~Child SIGKILLs + reaps any stragglers
+
+void Scheduler::enqueue(const std::string& key, RowFn fn) {
+  if (!known_.emplace(key, true).second) return;  // first enqueue wins
+  Task t;
+  t.key = key;
+  t.fn = std::move(fn);
+  t.not_before = std::chrono::steady_clock::now();
+  ready_.push_back(std::move(t));
+}
+
+bool Scheduler::known(const std::string& key) const {
+  return known_.find(key) != known_.end();
+}
+
+bool Scheduler::admission_allows(Task& task) {
+  // The cap defers, it never deadlocks: with nothing running the spawn is
+  // always admitted (one over-cap child beats zero progress).
+  if (opts_.rss_cap_mb <= 0.0 || running_.empty()) return true;
+  std::size_t sum = 0;
+  for (const Running& r : running_) sum += r.child.rss_bytes();
+  if (static_cast<double>(sum) <= opts_.rss_cap_mb * 1048576.0) return true;
+  if (!task.counted_admission_wait) {  // one count per deferral episode
+    obs::add("super.admission_waits");
+    task.counted_admission_wait = true;
+  }
+  admission_deferred_ = true;
+  return false;
+}
+
+bool Scheduler::spawn_ready() {
+  bool spawned = false;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = ready_.begin();
+       it != ready_.end() && running_.size() < static_cast<std::size_t>(opts_.jobs);) {
+    if (it->not_before > now) {  // backoff still pending: later rows may go
+      ++it;
+      continue;
+    }
+    if (!admission_allows(*it)) break;  // the cap binds every further spawn too
+    Task t = std::move(*it);
+    it = ready_.erase(it);
+    t.counted_admission_wait = false;
+    std::string fired;
+    if (!opts_.fired_file_base.empty()) {
+      fired = opts_.fired_file_base + "." + std::to_string(spawn_seq_++);
+      std::remove(fired.c_str());
+    }
+    obs::add("super.spawned");
+    const RowFn fn = t.fn;
+    const RetryRung rung = t.rung;
+    Running r;
+    r.task = std::move(t);
+    r.child = spawn_child([fn, rung] { return fn(rung); }, opts_.limits, fired);
+    running_.push_back(std::move(r));
+    obs::gauge_max("super.concurrent_peak",
+                   static_cast<double>(running_.size()));
+    spawned = true;
+  }
+  return spawned;
+}
+
+void Scheduler::finish(Running&& r) {
+  const ChildOutcome child = r.child.reap();
+  // Latch this child's firings before any future spawn: a one-shot rule a
+  // reaped child tripped never re-fires in a child forked from here on.
+  latch_fired_file(r.child.fired_file());
+  Task t = std::move(r.task);
+  t.attempts += 1;
+  if (child.soft_timeout && child.status == ChildStatus::kOk)
+    obs::add("super.soft_timeouts");
+
+  RowOutcome out;
+  out.key = t.key;
+  out.attempts = t.attempts;
+  out.last_status = child.status;
+  if (child.status == ChildStatus::kOk) {
+    out.status = "ok";
+    out.payload = child.payload;
+  } else if (child.status == ChildStatus::kError) {
+    // Deterministic typed failure: journal it, don't burn retries on it.
+    out.status = "failed";
+    out.reason = child.payload.empty() ? child.detail : child.payload;
+    obs::add("super.failed_rows");
+  } else {
+    switch (child.status) {
+      case ChildStatus::kCrash: obs::add("super.crashes"); break;
+      case ChildStatus::kTimeout: obs::add("super.timeouts"); break;
+      case ChildStatus::kOom: obs::add("super.oom_kills"); break;
+      default: break;
+    }
+    std::fprintf(stderr, "supervisor: %s attempt %d died (%s: %s)\n",
+                 t.key.c_str(), t.attempts, child_status_name(child.status),
+                 child.detail.c_str());
+    const RetryDecision d = plan_retry(opts_.retry, child.status, t.attempts);
+    if (d.retry) {
+      obs::add("super.retries");
+      t.rung = d.rung;
+      t.not_before = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(
+                         static_cast<long long>(d.delay_ms * 1000.0));
+      t.counted_admission_wait = false;
+      ready_.push_front(std::move(t));  // retries go before unstarted rows
+      return;                           // not terminal yet
+    }
+    out.status = "failed";
+    out.reason = std::string(child_status_name(child.status)) + ": " +
+                 child.detail + " (after " + std::to_string(t.attempts) +
+                 " attempts)";
+    obs::add("super.failed_rows");
+  }
+
+  if (journal_ != nullptr) {
+    JournalRecord rec;
+    rec.key = out.key;
+    rec.status = out.status;
+    rec.attempts = out.attempts;
+    rec.outcome = child_status_name(out.last_status);
+    rec.reason = out.reason;
+    rec.row_json = out.payload;
+    journal_->append(rec);
+  }
+  done_.emplace(out.key, std::move(out));
+}
+
+void Scheduler::pump() {
+  admission_deferred_ = false;
+  spawn_ready();
+  if (running_.empty()) {
+    // Nothing in flight: every ready row is waiting out a backoff (or the
+    // queue is empty). Sleep until the earliest deadline, bounded.
+    double timeout_ms = kAdmissionRecheckMs;
+    for (const Task& t : ready_) {
+      const double until = ms_until(t.not_before);
+      if (until > 0 && until < timeout_ms) timeout_ms = until;
+    }
+    ::poll(nullptr, 0, static_cast<int>(timeout_ms < 1 ? 1 : timeout_ms + 0.5));
+    return;
+  }
+
+  double timeout_ms = -1.0;  // block
+  const auto consider = [&timeout_ms](double t) {
+    if (t < 0) return;
+    if (timeout_ms < 0 || t < timeout_ms) timeout_ms = t;
+  };
+  for (const Running& r : running_) {
+    const double d = r.child.next_deadline_ms();
+    if (d >= 0) consider(d < 0 ? 0.0 : d);
+  }
+  if (running_.size() < static_cast<std::size_t>(opts_.jobs))
+    for (const Task& t : ready_) {
+      const double until = ms_until(t.not_before);
+      if (until > 0) consider(until);
+    }
+  if (admission_deferred_) consider(kAdmissionRecheckMs);
+
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(running_.size());
+  for (const Running& r : running_)
+    pfds.push_back({r.child.fd(), POLLIN, 0});
+  const int timeout =
+      timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms < 1 ? 1 : timeout_ms + 0.5);
+  const int rc = ::poll(pfds.data(), pfds.size(), timeout);
+  if (rc < 0 && errno != EINTR) return;  // transient; the loop re-polls
+
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    if (rc > 0 && (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+      running_[i].child.pump();
+    running_[i].child.poke_watchdog();
+  }
+  for (std::size_t i = 0; i < running_.size();) {
+    if (running_[i].child.eof()) {
+      Running r = std::move(running_[i]);
+      running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+      finish(std::move(r));  // may re-queue a retry; next pump spawns it
+    } else {
+      ++i;
+    }
+  }
+}
+
+RowOutcome Scheduler::wait(const std::string& key) {
+  if (!known(key))
+    throw Error("scheduler: row '" + key + "' was never enqueued");
+  for (;;) {
+    const auto it = done_.find(key);
+    if (it != done_.end()) return it->second;
+    pump();
+  }
+}
+
+void Scheduler::drain() {
+  while (!ready_.empty() || !running_.empty()) pump();
+}
+
+}  // namespace mfd::super

@@ -1,0 +1,141 @@
+// Multi-process row scheduler: runs up to `jobs` watchdogged row children
+// concurrently, multiplexing their CRC-framed result pipes with poll()
+// (docs/PARALLELISM.md §"Process-level parallelism").
+//
+// The scheduler is the concurrency engine under the sweep supervisor
+// (super/supervisor.h). Rows are enqueued ahead of time (the bench harness
+// registers its whole sweep plan up front) and harvested in *call* order:
+// `wait(key)` pumps the event loop — spawning, draining pipes, escalating
+// watchdogs, reaping, retrying — until that key is terminal, while every
+// other in-flight row keeps making progress in the background. Completed
+// rows are journaled in completion order; replay stays keyed, so resume
+// semantics are unchanged (super/journal.h).
+//
+// Invariants kept from the sequential supervisor (PR 8):
+//   * every terminal outcome is journaled with fsync before wait() returns
+//     it — the durability frontier is per row, not per sweep;
+//   * abnormal deaths re-enter the ready queue with their retry rung and a
+//     deterministic backoff deadline (super/retry.h) — the scheduler never
+//     sleeps, it just refuses to spawn the row earlier;
+//   * each child reports fault-rule firings to its own private file,
+//     latched in the parent at reap time (fault::latch_fired), so sibling
+//     children never interleave reports. Children forked *before* a firing
+//     child is reaped still carry the unlatched rule — under concurrency a
+//     one-shot rule is one-shot per reap wave, not per sweep (each extra
+//     firing costs one more clean retry, results are unchanged);
+//   * results are bit-identical for every `jobs` value: each row runs in a
+//     fresh process either way, and callers harvest in call order.
+//
+// Memory-aware admission: with rss_cap_mb > 0, a spawn is deferred while
+// the summed resident set of the running children exceeds the cap — except
+// that one child may always run (progress is never blocked outright).
+// Deferral episodes are counted in super.admission_waits; the high-water
+// child count lands in the super.concurrent_peak gauge.
+//
+// Single-threaded by design: everything runs on the caller's thread inside
+// wait()/drain(), so the journal, counters, and fault latching need no
+// locks, and fork() stays safe (no other threads in the parent).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "super/journal.h"
+#include "super/proc.h"
+#include "super/retry.h"
+
+namespace mfd::super {
+
+/// The terminal outcome of one row, whether run or replayed.
+struct RowOutcome {
+  std::string key;
+  bool from_journal = false;  ///< replayed: the row callback never ran
+  std::string status;         ///< "ok" | "failed"
+  ChildStatus last_status = ChildStatus::kOk;
+  int attempts = 0;
+  std::string payload;  ///< the row's result record (empty when failed)
+  std::string reason;   ///< failure detail when status == "failed"
+
+  bool ok() const { return status == "ok"; }
+};
+
+/// A row callback: receives the attempt's budget-tightening rung ({} for
+/// the first attempt) and returns the row's serialized result record.
+using RowFn = std::function<std::string(const RetryRung&)>;
+
+struct SchedulerOptions {
+  /// Row children allowed to run concurrently (>= 1).
+  int jobs = 1;
+  /// Summed-RSS admission cap over the running children in MiB; 0 = off.
+  double rss_cap_mb = 0.0;
+  ChildLimits limits;
+  RetryPolicy retry;
+  /// Per-child fault-firing report files are named <base>.<spawn-seq>;
+  /// empty disables firing reports entirely.
+  std::string fired_file_base;
+};
+
+class Scheduler {
+ public:
+  /// `journal` must outlive the scheduler; completed rows are appended to
+  /// it (journal == nullptr skips journaling, for tests).
+  Scheduler(const SchedulerOptions& opts, Journal* journal);
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
+
+  /// Adds a row to the ready queue. Duplicate keys are ignored (the first
+  /// enqueue wins — mirroring the journal's duplicate-key rule).
+  void enqueue(const std::string& key, RowFn fn);
+
+  /// True when `key` was ever enqueued (ready, running, or finished).
+  bool known(const std::string& key) const;
+
+  /// Pumps the event loop until `key` is terminal and returns its outcome.
+  /// Other enqueued rows keep running concurrently while waiting. Throws
+  /// mfd::Error for a key that was never enqueued.
+  RowOutcome wait(const std::string& key);
+
+  /// Runs every enqueued row to completion.
+  void drain();
+
+  std::size_t running_count() const { return running_.size(); }
+
+ private:
+  struct Task {
+    std::string key;
+    RowFn fn;
+    int attempts = 0;  ///< child runs completed so far
+    RetryRung rung;    ///< budget clamps for the next attempt
+    /// Earliest spawn time (retry backoff); default = immediately.
+    std::chrono::steady_clock::time_point not_before;
+    bool counted_admission_wait = false;
+  };
+  struct Running {
+    Task task;
+    Child child;
+  };
+
+  void pump();
+  /// Spawns ready tasks into free slots (respecting backoff deadlines and
+  /// the RSS admission cap). Returns true if anything was spawned.
+  bool spawn_ready();
+  bool admission_allows(Task& task);
+  void finish(Running&& r);
+
+  SchedulerOptions opts_;
+  Journal* journal_;
+  std::deque<Task> ready_;
+  std::deque<Running> running_;
+  std::map<std::string, RowOutcome> done_;
+  std::map<std::string, bool> known_;  // every key ever enqueued
+  std::uint64_t spawn_seq_ = 0;
+  /// A spawn was deferred by the RSS cap in the current pump cycle, so the
+  /// next poll timeout is bounded by the admission recheck interval.
+  bool admission_deferred_ = false;
+};
+
+}  // namespace mfd::super

@@ -2,14 +2,10 @@
 
 #include <unistd.h>
 
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
-#include <thread>
 
 #include "core/errors.h"
-#include "core/faultinject.h"
 #include "obs/obs.h"
 
 namespace mfd::super {
@@ -20,125 +16,76 @@ bool file_exists(const std::string& path) { return ::access(path.c_str(), F_OK) 
 Journal make_journal(const SupervisorOptions& opts, RecoveryInfo* info) {
   if (opts.journal_path.empty())
     throw Error("supervisor: a journal path is required (--journal)");
-  if (opts.resume && file_exists(opts.journal_path))
-    return Journal::open(opts.journal_path, info);
+  if (opts.resume) {
+    if (file_exists(opts.journal_path))
+      return Journal::open(opts.journal_path, info);
+    // A missing journal under --resume is more likely a typo'd path than a
+    // deliberate first run: proceed, but make it impossible to miss.
+    std::fprintf(stderr,
+                 "supervisor: WARNING: --resume requested but no journal "
+                 "exists at %s; starting a FRESH sweep (every row will "
+                 "re-run). Check the --journal path if you expected to "
+                 "resume.\n",
+                 opts.journal_path.c_str());
+    info->fresh_despite_resume = true;
+  }
   return Journal::create(opts.journal_path, opts.binary);
+}
+
+SchedulerOptions make_scheduler_options(const SupervisorOptions& opts) {
+  SchedulerOptions s;
+  s.jobs = opts.sweep_jobs;
+  s.rss_cap_mb = opts.rss_cap_mb;
+  s.limits = opts.limits;
+  s.retry = opts.retry;
+  // Per-child fault-firing report files. The parent pid keeps a resumed
+  // sweep's files distinct from a SIGKILLed predecessor's leftovers.
+  s.fired_file_base =
+      opts.journal_path + ".fault-fired." + std::to_string(::getpid());
+  return s;
 }
 
 }  // namespace
 
 Supervisor::Supervisor(const SupervisorOptions& opts)
-    : opts_(opts), journal_(make_journal(opts, &recovery_)) {
+    : opts_(opts),
+      journal_(make_journal(opts, &recovery_)),
+      scheduler_(make_scheduler_options(opts), &journal_) {
   if (recovery_.dropped_torn_tail)
     std::fprintf(stderr,
                  "supervisor: journal %s had a torn last record (dropped; that "
                  "row will re-run)\n",
                  journal_.path().c_str());
-  // Children report fault-rule firings here so the parent can latch them
-  // (one-shot semantics across the sweep, not per child).
-  fired_file_ = opts_.journal_path + ".fault-fired";
-  ::setenv("MFD_FAULT_FIRED_FILE", fired_file_.c_str(), 1);
-  std::remove(fired_file_.c_str());
 }
 
-Supervisor::~Supervisor() {
-  ::unsetenv("MFD_FAULT_FIRED_FILE");
-  std::remove(fired_file_.c_str());
+Supervisor::~Supervisor() = default;
+
+void Supervisor::plan_row(const std::string& key, RowFn fn) {
+  if (journal_.find(key) != nullptr) return;  // run_row will replay it
+  scheduler_.enqueue(key, std::move(fn));
 }
 
-void Supervisor::latch_child_fault_firings() {
-  std::FILE* f = std::fopen(fired_file_.c_str(), "r");
-  if (f == nullptr) return;
-  char line[512];
-  while (std::fgets(line, sizeof line, f) != nullptr) {
-    // Format (core/faultinject.cpp): site@ordinal:kind
-    std::string s(line);
-    while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
-    const std::size_t at = s.find('@');
-    if (at == std::string::npos) continue;
-    std::size_t colon = s.find(':', at);
-    if (colon == std::string::npos) colon = s.size();
-    const std::string site = s.substr(0, at);
-    const std::uint64_t ordinal =
-        std::strtoull(s.substr(at + 1, colon - at - 1).c_str(), nullptr, 10);
-    if (ordinal != 0) fault::latch_fired(site, ordinal);
+RowOutcome Supervisor::run_row(const std::string& key, const RowFn& fn) {
+  // A key the scheduler knows was planned (or run) in THIS process — its
+  // outcome comes from wait(), even though it is already journaled by the
+  // time we harvest it (completion-order appends can run ahead of harvest
+  // order under --sweep-jobs). Only keys journaled by a *previous* process
+  // count as resumed.
+  if (!scheduler_.known(key)) {
+    if (const JournalRecord* rec = journal_.find(key)) {
+      obs::add("super.resumed_rows");
+      RowOutcome out;
+      out.key = key;
+      out.from_journal = true;
+      out.status = rec->status;
+      out.attempts = rec->attempts;
+      out.payload = rec->row_json;
+      out.reason = rec->reason;
+      return out;
+    }
+    scheduler_.enqueue(key, fn);
   }
-  std::fclose(f);
-  std::remove(fired_file_.c_str());
-}
-
-RowOutcome Supervisor::run_row(
-    const std::string& key, const std::function<std::string(const RetryRung&)>& fn) {
-  RowOutcome out;
-  out.key = key;
-
-  if (const JournalRecord* rec = journal_.find(key)) {
-    obs::add("super.resumed_rows");
-    out.from_journal = true;
-    out.status = rec->status;
-    out.attempts = rec->attempts;
-    out.payload = rec->row_json;
-    out.reason = rec->reason;
-    return out;
-  }
-
-  RetryRung rung;  // first attempt: the row's own budget, untouched
-  for (int attempt = 1;; ++attempt) {
-    obs::add("super.spawned");
-    const ChildOutcome child =
-        run_in_child([&fn, &rung] { return fn(rung); }, opts_.limits);
-    latch_child_fault_firings();
-    out.attempts = attempt;
-    out.last_status = child.status;
-    if (child.soft_timeout && child.status == ChildStatus::kOk)
-      obs::add("super.soft_timeouts");
-
-    if (child.status == ChildStatus::kOk) {
-      out.status = "ok";
-      out.payload = child.payload;
-      break;
-    }
-    if (child.status == ChildStatus::kError) {
-      // Deterministic typed failure: journal it, don't burn retries on it.
-      out.status = "failed";
-      out.reason = child.payload.empty() ? child.detail : child.payload;
-      obs::add("super.failed_rows");
-      break;
-    }
-
-    switch (child.status) {
-      case ChildStatus::kCrash: obs::add("super.crashes"); break;
-      case ChildStatus::kTimeout: obs::add("super.timeouts"); break;
-      case ChildStatus::kOom: obs::add("super.oom_kills"); break;
-      default: break;
-    }
-    std::fprintf(stderr, "supervisor: %s attempt %d died (%s: %s)\n", key.c_str(),
-                 attempt, child_status_name(child.status), child.detail.c_str());
-
-    const RetryDecision d = plan_retry(opts_.retry, child.status, attempt);
-    if (!d.retry) {
-      out.status = "failed";
-      out.reason = std::string(child_status_name(child.status)) + ": " + child.detail +
-                   " (after " + std::to_string(attempt) + " attempts)";
-      obs::add("super.failed_rows");
-      break;
-    }
-    obs::add("super.retries");
-    if (d.delay_ms > 0)
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(d.delay_ms));
-    rung = d.rung;
-  }
-
-  JournalRecord rec;
-  rec.key = key;
-  rec.status = out.status;
-  rec.attempts = out.attempts;
-  rec.outcome = child_status_name(out.last_status);
-  rec.reason = out.reason;
-  rec.row_json = out.payload;
-  journal_.append(rec);
-  return out;
+  return scheduler_.wait(key);
 }
 
 }  // namespace mfd::super

@@ -1,6 +1,7 @@
 // The sweep supervisor: crash isolation (super/proc.h) + durable journaling
-// (super/journal.h) + retry-with-backoff (super/retry.h) for long many-row
-// sweeps. docs/ROBUSTNESS.md §"Sweep supervision" is the handbook.
+// (super/journal.h) + retry-with-backoff (super/retry.h) + concurrent row
+// scheduling (super/scheduler.h) for long many-row sweeps.
+// docs/ROBUSTNESS.md §"Sweep supervision" is the handbook.
 //
 // One Supervisor instance drives one sweep. Each row is a keyed callback
 // returning its serialized result record; run_row
@@ -13,31 +14,40 @@
 //   3. journals the terminal outcome with fsync before returning, so the
 //      sweep's progress frontier is always durable.
 //
+// Concurrency: with sweep_jobs > 1 the supervisor runs that many row
+// children at once. Rows registered ahead of time with plan_row make
+// progress in the background while run_row blocks on its own key; results
+// still come back in run_row call order, so printed tables and --stats-json
+// are bit-identical to a sequential sweep (see super/scheduler.h for the
+// determinism and fault-latching contract under concurrency).
+//
 // Fault-injection bookkeeping: children inherit the armed fault spec but
 // count site hits from zero (hit counts are per row under supervision — see
 // core/faultinject.h). To keep `site@k` rules one-shot across the *sweep*,
-// every firing child reports through MFD_FAULT_FIRED_FILE and the parent
-// latches the fired rule before the next fork, so a crash-kind fault takes
-// down exactly one child and the retry runs clean.
+// every firing child reports through its own private fired file (set via
+// MFD_FAULT_FIRED_FILE in the forked child only — the parent's environment
+// is never modified) and the parent latches the fired rules at reap time.
 //
 // Observability (parent-process counters, surfaced in --stats-json):
-//   super.spawned        children forked
-//   super.retries        re-runs after an abnormal death
-//   super.crashes        child deaths classified crash
-//   super.timeouts       watchdog SIGTERM/SIGKILL escalations (no record)
-//   super.soft_timeouts  rows that delivered after the SIGTERM wind-down
-//   super.oom_kills      child deaths classified oom
-//   super.resumed_rows   rows replayed from the journal instead of re-run
-//   super.failed_rows    rows journaled as failed (typed error, or retries
-//                        exhausted)
+//   super.spawned          children forked
+//   super.retries          re-runs after an abnormal death
+//   super.crashes          child deaths classified crash
+//   super.timeouts         watchdog SIGTERM/SIGKILL escalations (no record)
+//   super.soft_timeouts    rows that delivered after the SIGTERM wind-down
+//   super.oom_kills        child deaths classified oom
+//   super.resumed_rows     rows replayed from the journal instead of re-run
+//   super.failed_rows      rows journaled as failed (typed error, or retries
+//                          exhausted)
+//   super.admission_waits  spawns deferred by the --sweep-rss-mb cap
+//   super.concurrent_peak  (gauge) most row children alive at once
 #pragma once
 
-#include <functional>
 #include <string>
 
 #include "super/journal.h"
 #include "super/proc.h"
 #include "super/retry.h"
+#include "super/scheduler.h"
 
 namespace mfd::super {
 
@@ -46,25 +56,17 @@ struct SupervisorOptions {
   std::string journal_path;
   /// Replay an existing journal instead of truncating it. When the file does
   /// not exist yet, a fresh journal is created (so one command line serves
-  /// both the first run and every rerun).
+  /// both the first run and every rerun) — with a loud stderr warning, and
+  /// recovery().fresh_despite_resume set, so a typo'd path is visible.
   bool resume = false;
   /// Recorded in the journal header (diagnostics only).
   std::string binary;
   RetryPolicy retry;
   ChildLimits limits;
-};
-
-/// The terminal outcome of one row, whether run or replayed.
-struct RowOutcome {
-  std::string key;
-  bool from_journal = false;  ///< replayed: the row callback never ran
-  std::string status;         ///< "ok" | "failed"
-  ChildStatus last_status = ChildStatus::kOk;
-  int attempts = 0;
-  std::string payload;  ///< the row's result record (empty when failed)
-  std::string reason;   ///< failure detail when status == "failed"
-
-  bool ok() const { return status == "ok"; }
+  /// Row children allowed to run concurrently (--sweep-jobs, >= 1).
+  int sweep_jobs = 1;
+  /// Summed-RSS admission cap in MiB (--sweep-rss-mb); 0 = off.
+  double rss_cap_mb = 0.0;
 };
 
 class Supervisor {
@@ -76,23 +78,28 @@ class Supervisor {
   Supervisor(const Supervisor&) = delete;
   Supervisor& operator=(const Supervisor&) = delete;
 
-  /// Runs `fn` in a supervised child (unless journaled), retrying per the
-  /// policy. `fn` receives the attempt's budget-tightening rung ({} for the
-  /// first attempt) and returns the row's serialized record.
-  RowOutcome run_row(const std::string& key,
-                     const std::function<std::string(const RetryRung&)>& fn);
+  /// Registers a row for background execution ahead of its run_row call, so
+  /// sweep_jobs children can overlap. Journaled keys are skipped (run_row
+  /// will replay them); duplicate registrations are ignored. Planning is
+  /// optional — an unplanned run_row key is enqueued on the spot.
+  void plan_row(const std::string& key, RowFn fn);
+
+  /// Returns `key`'s terminal outcome: replayed from the journal when
+  /// resuming, otherwise run in a supervised child (retrying per the
+  /// policy), pumping every other planned row meanwhile. `fn` receives the
+  /// attempt's budget-tightening rung ({} for the first attempt) and
+  /// returns the row's serialized record.
+  RowOutcome run_row(const std::string& key, const RowFn& fn);
 
   /// What journal recovery had to do (torn-tail diagnostics).
   const RecoveryInfo& recovery() const { return recovery_; }
   const Journal& journal() const { return journal_; }
 
  private:
-  void latch_child_fault_firings();
-
   SupervisorOptions opts_;
   RecoveryInfo recovery_;
   Journal journal_;
-  std::string fired_file_;
+  Scheduler scheduler_;
 };
 
 }  // namespace mfd::super

@@ -33,6 +33,7 @@
 #include "super/jsonv.h"
 #include "super/proc.h"
 #include "super/retry.h"
+#include "super/scheduler.h"
 #include "super/supervisor.h"
 
 namespace mfd::super {
@@ -96,6 +97,20 @@ TEST(JsonReader, ParsesScalarsObjectsAndArrays) {
 TEST(JsonReader, DecodesSurrogatePairs) {
   const JsonValue v = parse_json(R"({"smile":"😀"})");
   EXPECT_EQ(v.string_or("smile"), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonReader, AsIntRejectsValuesOutsideIntRange) {
+  // as_int() used to cast as_int64() with silent truncation, so a journaled
+  // 64-bit count could come back as garbage. Out-of-range now throws the
+  // parser's typed error; in-range extremes still round-trip.
+  const JsonValue v = parse_json(
+      R"({"big":3000000000,"neg":-3000000000,"max":2147483647,"min":-2147483648})");
+  EXPECT_THROW(v.find("big")->as_int(), Error);
+  EXPECT_THROW(v.find("neg")->as_int(), Error);
+  EXPECT_EQ(v.find("max")->as_int(), 2147483647);
+  EXPECT_EQ(v.find("min")->as_int(), -2147483647 - 1);
+  // The 64-bit accessor is untouched: the value itself is fine.
+  EXPECT_EQ(v.find("big")->as_int64(), 3000000000LL);
 }
 
 TEST(JsonReader, RejectsTrailingGarbageAndTypeMismatch) {
@@ -515,6 +530,216 @@ TEST(Supervisor, LaterRetriesTightenTheBudgetRung) {
   EXPECT_TRUE(out.ok());
   EXPECT_EQ(out.attempts, 3);
   EXPECT_EQ(out.payload, std::to_string(RetryPolicy().rungs[1].node_budget));
+}
+
+TEST(Supervisor, DoesNotClobberTheCallersFaultFiredFileEnv) {
+  ScratchFile f("env");
+  // A user (or an outer supervisor) may own MFD_FAULT_FIRED_FILE; the
+  // supervisor must neither overwrite it in the parent nor unset it on
+  // destruction. Children still get their own private file, set inside the
+  // fork only.
+  ::setenv("MFD_FAULT_FIRED_FILE", "user-owned.fired", 1);
+  std::string child_env;
+  {
+    Supervisor sup(fast_options(f.path()));
+    const char* during = std::getenv("MFD_FAULT_FIRED_FILE");
+    ASSERT_NE(during, nullptr);
+    EXPECT_STREQ(during, "user-owned.fired");
+    const RowOutcome out = sup.run_row("env/probe", [](const RetryRung&) {
+      const char* v = std::getenv("MFD_FAULT_FIRED_FILE");
+      return std::string(v != nullptr ? v : "(unset)");
+    });
+    ASSERT_TRUE(out.ok());
+    child_env = out.payload;
+  }
+  const char* after = std::getenv("MFD_FAULT_FIRED_FILE");
+  ASSERT_NE(after, nullptr);
+  EXPECT_STREQ(after, "user-owned.fired");
+  ::unsetenv("MFD_FAULT_FIRED_FILE");
+  // The child saw its per-child report file, not the user's.
+  EXPECT_NE(child_env.find(".fault-fired."), std::string::npos);
+  EXPECT_EQ(child_env.find("user-owned"), std::string::npos);
+}
+
+TEST(Supervisor, WarnsWhenResumeFindsNoJournal) {
+  ScratchFile f("fresh-resume");  // guaranteed absent: ScratchFile removes it
+  SupervisorOptions o = fast_options(f.path());
+  o.resume = true;
+  Supervisor sup(o);
+  // The fresh-despite-resume condition is surfaced (the ctor also printed a
+  // loud stderr warning naming the path), and the sweep starts from zero.
+  EXPECT_TRUE(sup.recovery().fresh_despite_resume);
+  EXPECT_EQ(sup.recovery().records, 0u);
+  const RowOutcome out =
+      sup.run_row("fresh/row", [](const RetryRung&) { return std::string("ran"); });
+  EXPECT_FALSE(out.from_journal);
+  EXPECT_TRUE(out.ok());
+
+  // A genuine resume of the journal we just wrote does not warn.
+  Supervisor again(o);
+  EXPECT_FALSE(again.recovery().fresh_despite_resume);
+  EXPECT_EQ(again.recovery().records, 1u);
+}
+
+TEST(Supervisor, LatchesAFiringReportedWithAVeryLongLine) {
+  ScratchFile f("long-line");
+  // A site name far beyond the old 512-byte fgets buffer: the firing report
+  // line must be read whole, or the latch misses it and the one-shot rule
+  // crashes the retry (and every later row) too.
+  const std::string site = "decomp." + std::string(700, 'x');
+  fault::configure(site + "@1:crash");
+  {
+    Supervisor sup(fast_options(f.path()));
+    const RowOutcome out = sup.run_row("long/one", [&site](const RetryRung&) {
+      fault::point(site.c_str());
+      return std::string(R"({"v":1})");
+    });
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.attempts, 2);  // crashed once, retried clean
+    const RowOutcome next = sup.run_row("long/two", [&site](const RetryRung&) {
+      fault::point(site.c_str());
+      return std::string(R"({"v":2})");
+    });
+    EXPECT_TRUE(next.ok());
+    EXPECT_EQ(next.attempts, 1);  // the latched rule did not re-fire
+  }
+  fault::clear();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: concurrent supervised rows (super/scheduler.h)
+// ---------------------------------------------------------------------------
+
+SchedulerOptions fast_scheduler_options(int jobs) {
+  SchedulerOptions o;
+  o.jobs = jobs;
+  o.retry.backoff_ms = 1.0;  // keep the suite fast
+  o.retry.backoff_max_ms = 1.0;
+  return o;
+}
+
+TEST(Scheduler, ConcurrentSweepMatchesSequentialBitForBit) {
+  const int kRows = 8;
+  auto sweep = [&](int jobs) {
+    Scheduler sched(fast_scheduler_options(jobs), nullptr);
+    for (int i = 0; i < kRows; ++i) {
+      const std::string key = "row/" + std::to_string(i);
+      sched.enqueue(key, [key](const RetryRung&) {
+        // Long enough that 4 children genuinely overlap.
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return std::string(R"({"key":")") + key + R"("})";
+      });
+    }
+    std::vector<RowOutcome> outs;
+    for (int i = 0; i < kRows; ++i)
+      outs.push_back(sched.wait("row/" + std::to_string(i)));
+    return outs;
+  };
+  const std::vector<RowOutcome> seq = sweep(1);
+  const std::vector<RowOutcome> con = sweep(4);
+  ASSERT_EQ(seq.size(), con.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].key, con[i].key);
+    EXPECT_EQ(seq[i].status, con[i].status);
+    EXPECT_EQ(seq[i].attempts, con[i].attempts);
+    EXPECT_EQ(seq[i].payload, con[i].payload);  // bit-identical documents
+  }
+  // The 4-job sweep really ran children concurrently.
+  EXPECT_GE(obs::gauge_value("super.concurrent_peak"), 2.0);
+}
+
+TEST(Scheduler, RetryReentersTheQueueWhileOtherRowsRun) {
+  ScratchFile f("sched-retry");
+  fault::configure("decomp.boundset@1:crash");
+  SchedulerOptions o = fast_scheduler_options(4);
+  o.fired_file_base = f.path() + ".fault-fired";
+  {
+    Scheduler sched(o, nullptr);
+    for (int i = 0; i < 4; ++i) {
+      const std::string key = "row/" + std::to_string(i);
+      sched.enqueue(key, [i](const RetryRung&) {
+        if (i == 0) fault::point("decomp.boundset");  // crashes attempt 1
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return std::string(R"({"i":)") + std::to_string(i) + "}";
+      });
+    }
+    sched.drain();
+    const RowOutcome crashed = sched.wait("row/0");
+    EXPECT_TRUE(crashed.ok());
+    EXPECT_EQ(crashed.attempts, 2);  // died, re-entered the queue, re-ran
+    EXPECT_EQ(crashed.payload, R"({"i":0})");
+    for (int i = 1; i < 4; ++i) {
+      const RowOutcome out = sched.wait("row/" + std::to_string(i));
+      EXPECT_TRUE(out.ok());
+      EXPECT_EQ(out.attempts, 1);  // untouched by row/0's crash and retry
+    }
+  }
+  fault::clear();
+}
+
+TEST(Scheduler, AdmissionCapDefersSpawnsButCompletes) {
+  // A 50 KiB cap is below any live child's resident set (even a fresh COW
+  // fork reports a few hundred KB), so after the first spawn every further
+  // admission is deferred until a slot drains — the sweep degrades to
+  // sequential instead of deadlocking or thrashing.
+  SchedulerOptions o = fast_scheduler_options(4);
+  o.rss_cap_mb = 0.05;
+  const std::uint64_t waits_before = obs::counter_value("super.admission_waits");
+  Scheduler sched(o, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    const std::string key = "row/" + std::to_string(i);
+    sched.enqueue(key, [](const RetryRung&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return std::string("done");
+    });
+  }
+  sched.drain();
+  for (int i = 0; i < 4; ++i) {
+    const RowOutcome out = sched.wait("row/" + std::to_string(i));
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.payload, "done");
+  }
+  EXPECT_GT(obs::counter_value("super.admission_waits"), waits_before);
+}
+
+TEST(Supervisor, ResumeReplaysJournaledRowsAndRunsTheRestConcurrently) {
+  ScratchFile f("resume-concurrent");
+  // First run: two rows complete, then the supervisor "dies" (goes out of
+  // scope — a SIGKILL would leave the same journal, fsync'd per row).
+  {
+    Supervisor sup(fast_options(f.path()));
+    for (int i = 0; i < 2; ++i) {
+      const std::string key = "row/" + std::to_string(i);
+      const RowOutcome out = sup.run_row(key, [key](const RetryRung&) {
+        return std::string(R"({"key":")") + key + R"("})";
+      });
+      ASSERT_TRUE(out.ok());
+    }
+  }
+  // Resume at 4 jobs with a 4-row plan: the journaled half replays without
+  // forking, the rest runs concurrently.
+  SupervisorOptions o = fast_options(f.path());
+  o.resume = true;
+  o.sweep_jobs = 4;
+  Supervisor sup(o);
+  EXPECT_EQ(sup.recovery().records, 2u);
+  for (int i = 0; i < 4; ++i) {
+    const std::string key = "row/" + std::to_string(i);
+    sup.plan_row(key, [key](const RetryRung&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      return std::string(R"({"key":")") + key + R"("})";
+    });
+  }
+  for (int i = 0; i < 4; ++i) {
+    const std::string key = "row/" + std::to_string(i);
+    const RowOutcome out = sup.run_row(key, [key](const RetryRung&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      return std::string(R"({"key":")") + key + R"("})";
+    });
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.from_journal, i < 2);  // old rows replay, new rows run
+    EXPECT_EQ(out.payload, std::string(R"({"key":")") + key + R"("})");
+  }
 }
 
 }  // namespace
