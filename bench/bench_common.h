@@ -43,6 +43,8 @@
 //   --sweep-rss-mb <n>     defer spawns while the children's summed RSS
 //                          exceeds this many MiB (0 = no cap)
 //   --list-fault-sites     print the fault-injection sites/kinds and exit
+//   --repro <file>         replay a fuzz reproducer (docs/FUZZING.md) and
+//                          exit 0 iff its failure no longer reproduces
 // Budget overruns do not crash: the flow degrades (see docs/ROBUSTNESS.md)
 // and the --stats-json record carries the DegradationReport. With
 // --stats-json the document is also recommitted (temp + rename) after every
@@ -69,6 +71,7 @@
 #include "obs/json.h"
 #include "super/jsonv.h"
 #include "super/supervisor.h"
+#include "verify/repro.h"
 
 namespace mfd::bench {
 
@@ -278,6 +281,25 @@ inline void init_stats(int* argc, char** argv) {
       s.supervise = true;
       s.resume = true;
       continue;
+    }
+    if (std::strcmp(arg, "--repro") == 0 && i + 1 < *argc) {
+      // Replay a fuzz reproducer (docs/FUZZING.md) instead of benchmarking:
+      // exit 0 iff the recorded failure no longer reproduces.
+      const char* path = argv[i + 1];
+      try {
+        const verify::OracleResult r = verify::replay_repro_file(path);
+        if (r.ok) {
+          std::printf("repro %s: PASS (%d points, %d checks)\n", path,
+                      r.points_run, r.checks_run);
+          std::exit(0);
+        }
+        std::printf("repro %s: FAIL at %s: %s\n", path, r.failing_point.c_str(),
+                    r.failure.c_str());
+        std::exit(1);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--repro: %s\n", e.what());
+        std::exit(2);
+      }
     }
     if (std::strcmp(arg, "--list-fault-sites") == 0) {
       std::printf("instrumented fault sites (arm with --fault-inject "

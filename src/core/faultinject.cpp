@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -102,8 +103,18 @@ void report_fired(const char* site, std::uint64_t ordinal, Kind kind) {
   line += ':';
   line += kind_name(kind);
   line += '\n';
-  ssize_t ignored = ::write(fd, line.data(), line.size());
-  (void)ignored;
+  // Retry EINTR and short writes: a record dropped here un-latches a
+  // one-shot rule (the supervisor would let it fire again in the next
+  // child), so the write must be pushed to completion.
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
   ::close(fd);
 }
 

@@ -1,6 +1,8 @@
 #include "io/blif.h"
 
+#include <cctype>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -123,7 +125,10 @@ BlifModel parse_blif(const std::string& text, bdd::Manager& m,
         model.inputs.push_back(header.tokens[i]);
       }
     } else if (head == ".outputs") {
-      model.outputs.assign(header.tokens.begin() + 1, header.tokens.end());
+      // Append: the output list may span several .outputs lines, same as
+      // .inputs (assign would silently drop all but the last block).
+      model.outputs.insert(model.outputs.end(), header.tokens.begin() + 1,
+                           header.tokens.end());
     } else if (head == ".names") {
       read_names_block(header, li);
     } else if (head == ".end") {
@@ -145,27 +150,78 @@ BlifModel parse_blif(const std::string& text, bdd::Manager& m,
   return model;
 }
 
+namespace {
+
+/// Makes `candidate` safe to emit in a BLIF token position: non-empty, no
+/// whitespace (token separator), no '#' (comment start), no '\\' (line
+/// continuation), no leading '.' (directive). Unusable characters become '_';
+/// an empty or directive-like name falls back to `fallback`.
+std::string sanitize_blif_name(std::string candidate, const std::string& fallback) {
+  for (char& ch : candidate)
+    if (ch == '#' || ch == '\\' || std::isspace(static_cast<unsigned char>(ch)))
+      ch = '_';
+  if (candidate.empty() || candidate[0] == '.') return fallback;
+  return candidate;
+}
+
+}  // namespace
+
 std::string write_blif(const net::LutNetwork& net, const std::string& model_name,
                        const std::vector<std::string>& input_names,
                        const std::vector<std::string>& output_names) {
   std::ostringstream os;
-  auto signal_name = [&](int s) -> std::string {
-    if (s == net::kConst0) return "const0";
-    if (s == net::kConst1) return "const1";
-    if (net.is_primary_input(s)) {
-      return s < static_cast<int>(input_names.size()) ? input_names[static_cast<std::size_t>(s)]
-                                                      : "pi" + std::to_string(s);
+
+  // Every emitted name goes through this table: requested names are
+  // sanitized, then deduplicated against everything already assigned (user
+  // names colliding with each other or with generated pi<N>/po<N>/n<N>/
+  // const0/const1 names would silently merge distinct signals on re-read).
+  std::set<std::string> used;
+  auto claim = [&](const std::string& requested, const std::string& fallback) {
+    std::string name = sanitize_blif_name(requested, fallback);
+    if (used.insert(name).second) return name;
+    for (int suffix = 2;; ++suffix) {
+      const std::string retry = name + "_" + std::to_string(suffix);
+      if (used.insert(retry).second) return retry;
     }
-    return "n" + std::to_string(s);
+  };
+
+  std::map<int, std::string> pi_name;
+  for (int i = 0; i < net.num_primary_inputs(); ++i) {
+    const std::string fallback = "pi" + std::to_string(i);
+    pi_name[i] = claim(
+        i < static_cast<int>(input_names.size()) ? input_names[static_cast<std::size_t>(i)]
+                                                 : fallback,
+        fallback);
+  }
+  std::vector<std::string> po_name(static_cast<std::size_t>(net.num_outputs()));
+  for (int o = 0; o < net.num_outputs(); ++o) {
+    const std::string fallback = "po" + std::to_string(o);
+    po_name[static_cast<std::size_t>(o)] = claim(
+        o < static_cast<int>(output_names.size()) ? output_names[static_cast<std::size_t>(o)]
+                                                  : fallback,
+        fallback);
+  }
+  const std::string const0_name = claim("const0", "const0");
+  const std::string const1_name = claim("const1", "const1");
+  std::map<int, std::string> lut_name;
+  for (int i = 0; i < net.num_luts(); ++i) {
+    const int s = net.lut_signal(i);
+    std::string fallback = "n";
+    fallback += std::to_string(s);
+    lut_name[s] = claim(fallback, fallback);
+  }
+
+  auto signal_name = [&](int s) -> std::string {
+    if (s == net::kConst0) return const0_name;
+    if (s == net::kConst1) return const1_name;
+    if (net.is_primary_input(s)) return pi_name.at(s);
+    return lut_name.at(s);
   };
 
   os << ".model " << model_name << "\n.inputs";
   for (int i = 0; i < net.num_primary_inputs(); ++i) os << ' ' << signal_name(i);
   os << "\n.outputs";
-  for (int o = 0; o < net.num_outputs(); ++o)
-    os << ' '
-       << (o < static_cast<int>(output_names.size()) ? output_names[static_cast<std::size_t>(o)]
-                                                     : "po" + std::to_string(o));
+  for (int o = 0; o < net.num_outputs(); ++o) os << ' ' << po_name[static_cast<std::size_t>(o)];
   os << "\n";
 
   bool used_const0 = false, used_const1 = false;
@@ -178,8 +234,8 @@ std::string write_blif(const net::LutNetwork& net, const std::string& model_name
     used_const0 |= s == net::kConst0;
     used_const1 |= s == net::kConst1;
   }
-  if (used_const0) os << ".names const0\n";
-  if (used_const1) os << ".names const1\n1\n";
+  if (used_const0) os << ".names " << const0_name << "\n";
+  if (used_const1) os << ".names " << const1_name << "\n1\n";
 
   for (int i = 0; i < net.num_luts(); ++i) {
     const net::Lut& lut = net.lut(i);
@@ -197,11 +253,8 @@ std::string write_blif(const net::LutNetwork& net, const std::string& model_name
 
   // Output drivers: buffers from internal names to output names.
   for (int o = 0; o < net.num_outputs(); ++o) {
-    const std::string po = o < static_cast<int>(output_names.size())
-                               ? output_names[static_cast<std::size_t>(o)]
-                               : "po" + std::to_string(o);
-    os << ".names " << signal_name(net.outputs()[static_cast<std::size_t>(o)]) << ' ' << po
-       << "\n1 1\n";
+    os << ".names " << signal_name(net.outputs()[static_cast<std::size_t>(o)]) << ' '
+       << po_name[static_cast<std::size_t>(o)] << "\n1 1\n";
   }
   os << ".end\n";
   return os.str();

@@ -39,13 +39,23 @@ PlaFile parse_pla(const std::string& text, const std::string& filename) {
   PlaFile pla;
   bool saw_i = false, saw_o = false;
   std::istringstream is(text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    const std::size_t comment = line.find('#');
-    if (comment != std::string::npos) line.erase(comment);
-    const std::vector<std::string> tokens = tokenize(line);
+  std::string raw, joined;
+  int physical_line = 0;
+  int line_no = 0;  // first physical line of the current logical line
+  // Espresso allows '\' at end of line to continue a directive (commonly used
+  // for long .ilb/.ob name lists); comments run from '#' to end of line.
+  while (std::getline(is, raw)) {
+    ++physical_line;
+    const std::size_t comment = raw.find('#');
+    if (comment != std::string::npos) raw.erase(comment);
+    const bool cont = !raw.empty() && raw.back() == '\\';
+    if (cont) raw.pop_back();
+    if (joined.empty()) line_no = physical_line;
+    joined += raw + " ";
+    if (cont) continue;
+    const std::vector<std::string> tokens = tokenize(joined);
+    const std::string line = std::move(joined);
+    joined.clear();
     if (tokens.empty()) continue;
     const std::string& head = tokens.front();
     if (head == ".i") {
@@ -61,11 +71,19 @@ PlaFile parse_pla(const std::string& text, const std::string& filename) {
     } else if (head == ".type") {
       if (tokens.size() != 2)
         throw ParseError(filename, line_no, "pla: malformed .type");
+      // An unknown type must not be accepted silently: every plane symbol's
+      // meaning depends on it, and guessing turns don't-cares into cares.
+      if (tokens[1] != "f" && tokens[1] != "fd" && tokens[1] != "fr" &&
+          tokens[1] != "fdr")
+        throw ParseError(filename, line_no,
+                         "pla: unsupported .type " + tokens[1] +
+                             " (expected f|fd|fr|fdr)");
       pla.type = tokens[1];
     } else if (head == ".ilb") {
-      pla.input_names.assign(tokens.begin() + 1, tokens.end());
+      // Append: espresso permits the name list to span several .ilb lines.
+      pla.input_names.insert(pla.input_names.end(), tokens.begin() + 1, tokens.end());
     } else if (head == ".ob") {
-      pla.output_names.assign(tokens.begin() + 1, tokens.end());
+      pla.output_names.insert(pla.output_names.end(), tokens.begin() + 1, tokens.end());
     } else if (head == ".e" || head == ".end") {
       break;
     } else if (head[0] == '.') {
@@ -87,17 +105,33 @@ PlaFile parse_pla(const std::string& text, const std::string& filename) {
       if (static_cast<int>(in.size()) != pla.num_inputs ||
           static_cast<int>(out.size()) != pla.num_outputs)
         throw ParseError(filename, line_no, "pla: cube width mismatch: " + line);
-      for (char ch : in)
+      for (char& ch : in) {
+        if (ch == '2') ch = '-';  // espresso: '2' is a synonym for '-'
         if (ch != '0' && ch != '1' && ch != '-')
           throw ParseError(filename, line_no, "pla: bad input character in: " + line);
-      for (char ch : out)
+      }
+      for (char& ch : out) {
+        if (ch == '2') ch = '-';
         if (ch != '0' && ch != '1' && ch != '-' && ch != '~')
           throw ParseError(filename, line_no, "pla: bad output character in: " + line);
+      }
       pla.cubes.emplace_back(std::move(in), std::move(out));
     }
   }
   // Line 0: the input as a whole is missing its mandatory header.
   if (!saw_i || !saw_o) throw ParseError(filename, 0, "pla: missing .i/.o");
+  if (!pla.input_names.empty() &&
+      static_cast<int>(pla.input_names.size()) != pla.num_inputs)
+    throw ParseError(filename, 0, "pla: .ilb names " +
+                                      std::to_string(pla.input_names.size()) +
+                                      " inputs but .i says " +
+                                      std::to_string(pla.num_inputs));
+  if (!pla.output_names.empty() &&
+      static_cast<int>(pla.output_names.size()) != pla.num_outputs)
+    throw ParseError(filename, 0, "pla: .ob names " +
+                                      std::to_string(pla.output_names.size()) +
+                                      " outputs but .o says " +
+                                      std::to_string(pla.num_outputs));
   return pla;
 }
 
@@ -151,10 +185,51 @@ PlaFile pla_from_isfs(const std::vector<Isf>& fns, int num_inputs,
   return pla;
 }
 
+PlaFile pla_from_isfs_exact(const std::vector<Isf>& fns, int num_inputs,
+                            const std::vector<std::string>& input_names,
+                            const std::vector<std::string>& output_names) {
+  if (fns.empty()) throw std::runtime_error("pla_from_isfs_exact: no outputs");
+  bdd::Manager& m = *fns.front().manager();
+  PlaFile pla;
+  pla.num_inputs = num_inputs >= 0 ? num_inputs : m.num_vars();
+  pla.num_outputs = static_cast<int>(fns.size());
+  pla.type = "fr";
+  pla.input_names = input_names;
+  pla.output_names = output_names;
+
+  // fr semantics reconstruct care = on | off per output, so emitting exact
+  // covers of both planes (and '~' elsewhere) round-trips (on, care)
+  // verbatim — no complement-of-the-listed-planes guessing involved.
+  auto emit_plane = [&](int o, const bdd::Bdd& plane, char symbol) {
+    const std::vector<bdd::Cube> cover = bdd::isop(m, plane.id(), plane.id());
+    for (const bdd::Cube& cube : cover) {
+      std::string in(static_cast<std::size_t>(pla.num_inputs), '-');
+      for (const auto& [var, phase] : cube.literals) {
+        if (var >= pla.num_inputs)
+          throw std::runtime_error("pla_from_isfs_exact: function exceeds input count");
+        in[static_cast<std::size_t>(var)] = phase ? '1' : '0';
+      }
+      std::string out(static_cast<std::size_t>(pla.num_outputs), '~');
+      out[static_cast<std::size_t>(o)] = symbol;
+      pla.cubes.emplace_back(std::move(in), std::move(out));
+    }
+  };
+  for (int o = 0; o < pla.num_outputs; ++o) {
+    const Isf& f = fns[static_cast<std::size_t>(o)];
+    emit_plane(o, f.on(), '1');
+    emit_plane(o, f.off(), '0');
+  }
+  return pla;
+}
+
 std::vector<Isf> pla_to_isfs(const PlaFile& pla, bdd::Manager& m) {
   circuits::ensure_vars(m, pla.num_inputs);
   const bool has_r = pla.type == "fr" || pla.type == "fdr";
-  const bool has_d = pla.type == "fd" || pla.type == "fdr" || pla.type == "f";
+  // Type f carries only an on-plane: its DC-set is empty by definition, so a
+  // '-' output entry has *no meaning* there (treating it as DC — as this code
+  // once did — silently widens the care set's complement and lets the
+  // synthesizer change cared-for values).
+  const bool has_d = pla.type == "fd" || pla.type == "fdr";
 
   std::vector<bdd::Bdd> on(static_cast<std::size_t>(pla.num_outputs), m.bdd_false());
   std::vector<bdd::Bdd> dc(static_cast<std::size_t>(pla.num_outputs), m.bdd_false());

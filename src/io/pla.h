@@ -17,12 +17,12 @@ namespace mfd::io {
 struct PlaFile {
   int num_inputs = 0;
   int num_outputs = 0;
-  /// "f", "fd" (default), "fr", or "fdr": which planes the 0/~ entries mean.
+  /// "f", "fd" (default), "fr", or "fdr": which planes the 0/-/~ entries mean.
   std::string type = "fd";
   std::vector<std::string> input_names;   // may be empty
   std::vector<std::string> output_names;  // may be empty
   /// Cubes as (input part, output part) strings, characters {0,1,-} and
-  /// {0,1,-,~} respectively.
+  /// {0,1,-,~} respectively ('2' is normalized to '-' during parsing).
   std::vector<std::pair<std::string, std::string>> cubes;
 };
 
@@ -41,12 +41,24 @@ PlaFile pla_from_isfs(const std::vector<Isf>& fns, int num_inputs = -1,
                       const std::vector<std::string>& input_names = {},
                       const std::vector<std::string>& output_names = {});
 
+/// Builds a PLA that preserves each output's care set *exactly*: an fr-type
+/// file listing irredundant covers of both the on-set ('1' entries) and the
+/// off-set ('0' entries), with '~' (no information) everywhere else. Unlike
+/// pla_from_isfs, a PLA → ISF → PLA → ISF round trip through this writer is
+/// the identity on (on, care) — the fuzz harness depends on that.
+PlaFile pla_from_isfs_exact(const std::vector<Isf>& fns, int num_inputs = -1,
+                            const std::vector<std::string>& input_names = {},
+                            const std::vector<std::string>& output_names = {});
+
 /// Interprets the cubes as multi-output ISFs over manager variables
-/// 0..num_inputs-1 (the manager is grown as needed):
-///   '1' adds the cube to the output's on-set,
-///   '-' adds it to the don't-care set (types fd/fdr),
-///   '0'/'~' contribute nothing ('0' adds to the off-set for fr/fdr).
-/// For f/fd types, inputs covered by no cube are off.
+/// 0..num_inputs-1 (the manager is grown as needed). Espresso semantics per
+/// type:
+///   '1'      adds the cube to the output's on-set (all types),
+///   '-'/'2'  adds it to the don't-care set for fd/fdr; no meaning for f/fr,
+///   '0'      adds it to the off-set for fr/fdr; no meaning for f/fd,
+///   '~'      no meaning at all.
+/// The unlisted plane is the complement of the listed ones: f/fd treat
+/// inputs covered by no cube as off; fr/fdr treat them as don't-care.
 std::vector<Isf> pla_to_isfs(const PlaFile& pla, bdd::Manager& m);
 
 }  // namespace mfd::io

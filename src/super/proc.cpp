@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <new>
 #include <utility>
 
@@ -340,6 +341,7 @@ Child spawn_child(const std::function<std::string()>& fn,
 ChildOutcome run_in_child(const std::function<std::string()>& fn,
                           const ChildLimits& limits) {
   Child c = spawn_child(fn, limits);
+  int poll_failures = 0;
   while (!c.eof()) {
     const double wait_ms = c.next_deadline_ms();
     struct pollfd pfd{c.fd(), POLLIN, 0};
@@ -347,9 +349,17 @@ ChildOutcome run_in_child(const std::function<std::string()>& fn,
         wait_ms < 0 ? -1 : static_cast<int>(wait_ms < 1 ? 1 : wait_ms + 0.5);
     const int rc = ::poll(&pfd, 1, timeout);
     if (rc < 0) {
-      if (errno == EINTR) continue;
-      break;
+      if (errno == EINTR) continue;  // signal: retry, never misclassify
+      // Transient failures (e.g. ENOMEM) get bounded retries with the
+      // watchdog still advancing; only a persistently broken poll abandons
+      // the wait (and reap() then reports whatever the child managed to send).
+      if (++poll_failures > 100) break;
+      c.poke_watchdog();
+      struct timespec ts{0, 10 * 1000 * 1000};  // 10 ms
+      ::nanosleep(&ts, nullptr);
+      continue;
     }
+    poll_failures = 0;
     if (rc == 0) {  // a deadline passed
       c.poke_watchdog();
       continue;

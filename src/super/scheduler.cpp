@@ -209,7 +209,12 @@ void Scheduler::pump() {
       const double until = ms_until(t.not_before);
       if (until > 0 && until < timeout_ms) timeout_ms = until;
     }
-    ::poll(nullptr, 0, static_cast<int>(timeout_ms < 1 ? 1 : timeout_ms + 0.5));
+    // Retry EINTR: a signal (the fuzz job's children are signal-heavy) must
+    // shorten the backoff sleep, not turn it into a busy spin.
+    while (::poll(nullptr, 0,
+                  static_cast<int>(timeout_ms < 1 ? 1 : timeout_ms + 0.5)) < 0 &&
+           errno == EINTR) {
+    }
     return;
   }
 
@@ -235,8 +240,11 @@ void Scheduler::pump() {
     pfds.push_back({r.child.fd(), POLLIN, 0});
   const int timeout =
       timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms < 1 ? 1 : timeout_ms + 0.5);
+  // On any poll failure (EINTR from a stray signal included) fall through
+  // with rc < 0: no revents are consulted, but the watchdog pokes below still
+  // run, so a child past its deadline is escalated instead of the error
+  // silently stalling the sweep until the next successful poll.
   const int rc = ::poll(pfds.data(), pfds.size(), timeout);
-  if (rc < 0 && errno != EINTR) return;  // transient; the loop re-polls
 
   for (std::size_t i = 0; i < running_.size(); ++i) {
     if (rc > 0 && (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)

@@ -1,0 +1,42 @@
+// Delta-debugging shrinker for failing fuzz specs (docs/FUZZING.md).
+//
+// Given a spec on which some predicate fails (in practice: "the oracle
+// reports a failure"), the shrinker greedily minimizes it through three
+// reduction stages, repeated to a fixpoint:
+//   1. drop outputs (keep at least one),
+//   2. drop input variables (cofactor the tables at var = 0),
+//   3. flip don't-care cells to cared-for values (chunked ddmin: halves,
+//      then quarters, ... down to single cells) — a failure that survives
+//      with fewer DCs is a tighter, more deterministic reproducer.
+// Every candidate is re-validated by running the predicate on the reduced
+// spec; reductions that make the failure disappear are rolled back. The
+// total number of predicate runs is capped (each one re-runs the full
+// oracle), so shrinking always terminates promptly.
+#pragma once
+
+#include <functional>
+
+#include "verify/specgen.h"
+
+namespace mfd::verify {
+
+/// Returns true while the spec still exhibits the failure being minimized.
+using FailPredicate = std::function<bool(const TableSpec&)>;
+
+struct ShrinkOptions {
+  /// Ceiling on predicate invocations across all stages.
+  int max_checks = 400;
+};
+
+struct ShrinkResult {
+  TableSpec spec;      ///< the minimized spec (still failing)
+  int checks_run = 0;  ///< predicate invocations spent
+  int rounds = 0;      ///< full stage-1..3 sweeps until fixpoint (or cap)
+};
+
+/// Minimizes `failing` under `still_fails`. `still_fails(failing)` is
+/// assumed true and is not re-checked.
+ShrinkResult shrink_spec(const TableSpec& failing, const FailPredicate& still_fails,
+                         const ShrinkOptions& opts = {});
+
+}  // namespace mfd::verify

@@ -1,0 +1,69 @@
+// Seeded random ISF specification generator for the differential fuzz
+// harness (tools/mfd_fuzz, docs/FUZZING.md).
+//
+// Specs are generated as explicit truth tables (TableSpec) rather than BDDs:
+// a table is manager-independent, trivially serializable, and regenerable
+// bit-exactly from its seed, which is what the delta-debugging shrinker and
+// the reproducer format need. Conversion to the flow's Isf representation is
+// a separate, deterministic step (to_isfs).
+//
+// The generator deliberately skews toward the shapes that break DC-handling
+// code: extreme don't-care densities (including all-DC outputs), constant
+// outputs, duplicated outputs, and outputs restricted to a shared subset of
+// the inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "isf/isf.h"
+
+namespace mfd::verify {
+
+/// One multi-output incompletely specified function as explicit truth
+/// tables: bit m of outputs[o] describes minterm m (inputs read LSB-first:
+/// bit i of m is the value of input i).
+struct TableSpec {
+  int num_inputs = 0;
+  struct Output {
+    /// 2^num_inputs entries each; on[m] is meaningful only where care[m]=1
+    /// (the invariant on <= care is maintained everywhere).
+    std::vector<std::uint8_t> on;
+    std::vector<std::uint8_t> care;
+  };
+  std::vector<Output> outputs;
+
+  std::size_t table_size() const { return std::size_t{1} << num_inputs; }
+};
+
+struct SpecGenOptions {
+  int min_inputs = 1;
+  int max_inputs = 7;
+  int min_outputs = 1;
+  int max_outputs = 4;
+};
+
+/// Deterministically generates a spec from `seed`: same seed, same tables,
+/// on every platform. Input/output counts are drawn skewed toward small;
+/// each output independently picks a don't-care density mode (complete,
+/// sparse, balanced, heavy, all-DC), with extra modes for constants,
+/// duplicates of earlier outputs, and reduced-support functions.
+TableSpec generate_spec(std::uint64_t seed, const SpecGenOptions& opts = {});
+
+/// Builds the spec's ISFs in `m` over manager variables 0..num_inputs-1
+/// (growing the manager as needed). Deterministic given the spec.
+std::vector<Isf> to_isfs(const TableSpec& spec, bdd::Manager& m);
+
+/// Reads ISFs back into table form by evaluating every minterm; `fns` must
+/// depend only on manager variables 0..num_inputs-1.
+TableSpec from_isfs(const std::vector<Isf>& fns, int num_inputs);
+
+/// True iff the two specs have identical (on, care) planes everywhere.
+bool same_spec(const TableSpec& a, const TableSpec& b);
+
+/// Human-oriented one-line shape summary, e.g. "4i/2o dc=37%".
+std::string describe(const TableSpec& spec);
+
+}  // namespace mfd::verify

@@ -323,5 +323,92 @@ TEST_F(CacheTest, OptionsFingerprintSeparatesFlowEntries) {
   EXPECT_EQ(other_seed.flow_hits, 0u);  // different seed, different key
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate specs: constants, zero-variable managers, all-DC ISFs, and
+// duplicate outputs — the shapes the fuzz generator (src/verify/) skews
+// toward. Each must key distinctly; a collision here would silently hand one
+// spec another spec's cached decomposition.
+// ---------------------------------------------------------------------------
+
+TEST_F(CacheTest, SignatureSeparatesConstantsOnZeroVarManager) {
+  Manager m(0);  // no variables: only the two constant functions exist
+  cache::SignatureComputer sig(m);
+  const cache::FunctionSignature one = sig.of(m.constant(true).id());
+  const cache::FunctionSignature zero = sig.of(m.constant(false).id());
+  EXPECT_EQ(one, (cache::FunctionSignature{1, 1}));
+  EXPECT_EQ(zero, (cache::FunctionSignature{0, 0}));
+  EXPECT_NE(one, zero);
+  // Normalization folds the pair onto one representative; the flip bit is
+  // what still tells them apart.
+  bool flip_one = false;
+  bool flip_zero = false;
+  EXPECT_EQ(sig.of_normalized(m.constant(true).id(), &flip_one),
+            sig.of_normalized(m.constant(false).id(), &flip_zero));
+  EXPECT_NE(flip_one, flip_zero);
+}
+
+TEST_F(CacheTest, MultiplicityKeySeparatesDegenerateCarePlanes) {
+  Manager m(3);
+  cache::SignatureComputer sig(m);
+  const Edge t = m.constant(true).id();
+  const Edge f = m.constant(false).id();
+  const Edge x0 = m.var(0).id();
+  const std::vector<int> bound = {0, 1};
+
+  // Complete constants are complement-normalized by design — const-0 and
+  // const-1 *share* an entry (class counts are complement-invariant) — but
+  // the all-DC ISF (care == 0) is a different problem and must key apart
+  // from both even though every plane involved is a constant.
+  const auto k_one = cache::multiplicity_key(sig, {{t, t}}, bound, 5);
+  const auto k_zero = cache::multiplicity_key(sig, {{f, t}}, bound, 5);
+  const auto k_alldc = cache::multiplicity_key(sig, {{f, f}}, bound, 5);
+  EXPECT_EQ(k_one, k_zero);  // intentional complement sharing
+  EXPECT_NE(k_one, k_alldc);
+  EXPECT_NE(k_zero, k_alldc);
+
+  // A completely specified x0 and the ISF whose care set happens to be x0
+  // describe different problems; the complete/ISF marker must separate them
+  // even when the raw edges involved coincide.
+  const auto k_complete = cache::multiplicity_key(sig, {{x0, t}}, bound, 5);
+  const auto k_isf = cache::multiplicity_key(sig, {{x0, x0}}, bound, 5);
+  EXPECT_NE(k_complete, k_isf);
+}
+
+TEST_F(CacheTest, MultiplicityKeyDuplicateOutputsAndArityAreDistinct) {
+  Manager m(3);
+  cache::SignatureComputer sig(m);
+  const Edge t = m.constant(true).id();
+  const Edge x0 = m.var(0).id();
+  const std::vector<int> bound = {0, 1};
+
+  // One output vs the same output listed twice (duplicate-output specs are a
+  // generator staple): the key must encode the multiplicity, not a set.
+  const auto k_single = cache::multiplicity_key(sig, {{x0, t}}, bound, 5);
+  const auto k_double = cache::multiplicity_key(sig, {{x0, t}, {x0, t}}, bound, 5);
+  EXPECT_NE(k_single, k_double);
+
+  // Same functions, different bound set or seed -> different entries.
+  const auto k_bound = cache::multiplicity_key(sig, {{x0, t}}, {0, 2}, 5);
+  EXPECT_NE(k_single, k_bound);
+  const auto k_seed = cache::multiplicity_key(sig, {{t, t}}, bound, 6);
+  const auto k_seed5 = cache::multiplicity_key(sig, {{t, t}}, bound, 5);
+  EXPECT_NE(k_seed, k_seed5);
+}
+
+TEST_F(CacheTest, SignatureOfDuplicateFunctionsAgreesAcrossManagers) {
+  // Duplicate outputs in a spec hash to the same signature even when built
+  // in different managers — that sharing is what the flow cache relies on.
+  Manager ma(4);
+  Manager mb(4);
+  Rng rng(23);
+  const test::Table table = test::random_table(rng, 4);
+  const Bdd fa = test::bdd_from_table(ma, table, 4);
+  const Bdd fb = test::bdd_from_table(mb, table, 4);
+  cache::SignatureComputer sa(ma);
+  cache::SignatureComputer sb(mb);
+  EXPECT_EQ(sa.of(fa.id()), sb.of(fb.id()));
+  EXPECT_EQ(sa.of(fa.id()), sa.of(fa.id()));  // memoized path agrees
+}
+
 }  // namespace
 }  // namespace mfd

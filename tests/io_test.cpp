@@ -77,6 +77,70 @@ TEST(Pla, FrTypeCareIsListedPlanes) {
   EXPECT_EQ(fns[0].care(), (x0 & x1) | ((!x0) & (!x1)));
 }
 
+TEST(Pla, TwoSymbolIsDashSynonym) {
+  // espresso allows '2' for '-' in both planes; the parser normalizes it so
+  // downstream code only ever sees '-'.
+  Manager m;
+  const PlaFile pla = parse_pla(".i 3\n.o 2\n.type fd\n012 1-\n1-0 21\n");
+  EXPECT_EQ(pla.cubes[0].first, "01-");
+  EXPECT_EQ(pla.cubes[0].second, "1-");
+  EXPECT_EQ(pla.cubes[1].second, "-1");
+  const std::vector<Isf> dash =
+      pla_to_isfs(parse_pla(".i 3\n.o 2\n.type fd\n01- 1-\n1-0 -1\n"), m);
+  const std::vector<Isf> two = pla_to_isfs(pla, m);
+  ASSERT_EQ(dash.size(), two.size());
+  for (std::size_t o = 0; o < dash.size(); ++o) EXPECT_EQ(dash[o], two[o]);
+}
+
+TEST(Pla, ContinuationLinesAndMultiLineNameLists) {
+  // '\' joins physical lines, and repeated .ilb/.ob directives append —
+  // espresso emits both for wide PLAs.
+  const PlaFile pla = parse_pla(
+      ".i 3\n.o 2\n.ilb a b \\\nc\n.ob f\n.ob g\n1-0 10\n");
+  EXPECT_EQ(pla.input_names, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(pla.output_names, (std::vector<std::string>{"f", "g"}));
+  // Name-list length must agree with .i/.o once the whole file is read.
+  EXPECT_THROW(parse_pla(".i 3\n.o 1\n.ilb a b\n1-0 1\n"), mfd::ParseError);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n.ob f g\n10 1\n"), mfd::ParseError);
+}
+
+TEST(Pla, TypeFDashOutputCarriesNoInformation) {
+  // In a .type f PLA the DC-set is empty by definition: a '-' output entry
+  // has *no meaning* and must not widen the don't-care set. (It used to be
+  // parsed into the DC plane, silently allowing cared-for values to change.)
+  Manager m;
+  const std::vector<Isf> fns =
+      pla_to_isfs(parse_pla(".i 2\n.o 2\n.type f\n11 1-\n00 -1\n"), m);
+  const Bdd x0 = m.var(0), x1 = m.var(1);
+  for (const Isf& f : fns) EXPECT_TRUE(f.is_completely_specified());
+  EXPECT_EQ(fns[0].on(), x0 & x1);
+  EXPECT_EQ(fns[1].on(), (!x0) & (!x1));
+}
+
+TEST(Pla, UnknownTypeRejected) {
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n.type fx\n11 1\n"), mfd::ParseError);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n.type\n"), mfd::ParseError);
+}
+
+TEST(Pla, ExactExportRoundTripsCareSetVerbatim) {
+  // pla_from_isfs_exact writes an fr-type cover of both the on and off
+  // planes; parsing it back must reproduce (on, care) bit-for-bit, including
+  // for the degenerate all-DC and constant shapes.
+  Manager m(4);
+  mfd::Rng rng(99);
+  std::vector<Isf> fns;
+  const Bdd f = test::bdd_from_table(m, test::random_table(rng, 4), 4);
+  const Bdd care = test::bdd_from_table(m, test::random_table(rng, 4), 4);
+  fns.push_back(Isf(f & care, care));
+  fns.push_back(Isf(m.constant(false), m.constant(false)));  // all-DC
+  fns.push_back(Isf::completely_specified(m.constant(true)));
+  const PlaFile pla = pla_from_isfs_exact(fns, 4);
+  EXPECT_EQ(pla.type, "fr");
+  const std::vector<Isf> back = pla_to_isfs(pla, m);
+  ASSERT_EQ(back.size(), fns.size());
+  for (std::size_t o = 0; o < fns.size(); ++o) EXPECT_EQ(back[o], fns[o]);
+}
+
 TEST(Pla, RejectsMalformedInput) {
   EXPECT_THROW(parse_pla("11 1\n"), std::runtime_error);            // cube before .i/.o
   EXPECT_THROW(parse_pla(".i 2\n.o 1\n1 1\n"), std::runtime_error); // width mismatch
@@ -247,6 +311,47 @@ TEST(Blif, ContinuationsAndComments) {
       m);
   ASSERT_EQ(model.inputs.size(), 2u);
   EXPECT_EQ(model.functions[0], m.var(0) & m.var(1));
+}
+
+TEST(Blif, OutputsListMaySpanMultipleDirectives) {
+  // Repeated .inputs/.outputs directives append (many netlist writers emit
+  // one directive per chunk instead of '\' continuations).
+  Manager m;
+  const BlifModel model = parse_blif(
+      ".model c\n.inputs a\n.inputs b\n.outputs f\n.outputs g\n"
+      ".names a b f\n11 1\n.names a g\n0 1\n.end\n",
+      m);
+  ASSERT_EQ(model.inputs.size(), 2u);
+  ASSERT_EQ(model.outputs.size(), 2u);
+  EXPECT_EQ(model.functions[0], m.var(0) & m.var(1));
+  EXPECT_EQ(model.functions[1], !m.var(0));
+}
+
+TEST(Blif, WriterSanitizesHostileNames) {
+  // Names with whitespace, comment characters, continuation backslashes,
+  // leading dots, or duplicates must be rewritten into something the reader
+  // accepts — and the rewritten file must still compute the same functions.
+  net::LutNetwork net = net::ripple_carry_adder(2);
+  const std::vector<std::string> ins = {"a b", "#x", "bad\\name", ".dot"};
+  ASSERT_EQ(static_cast<int>(ins.size()), net.num_primary_inputs());
+  std::vector<std::string> outs(static_cast<std::size_t>(net.num_outputs()),
+                                "same");  // every output named identically
+  const std::string text = write_blif(net, "hostile", ins, outs);
+
+  Manager m;
+  const BlifModel model = parse_blif(text, m);  // must not throw
+  ASSERT_EQ(model.outputs.size(), static_cast<std::size_t>(net.num_outputs()));
+  // Output names stay distinct after dedup.
+  for (std::size_t i = 0; i < model.outputs.size(); ++i)
+    for (std::size_t j = i + 1; j < model.outputs.size(); ++j)
+      EXPECT_NE(model.outputs[i], model.outputs[j]);
+
+  std::vector<int> pis;
+  for (int i = 0; i < net.num_primary_inputs(); ++i) pis.push_back(i);
+  const auto direct = net::output_bdds(net, m, pis);
+  ASSERT_EQ(model.functions.size(), direct.size());
+  for (std::size_t o = 0; o < direct.size(); ++o)
+    EXPECT_EQ(model.functions[o], direct[o]) << "output " << o;
 }
 
 class IoFuzz : public ::testing::TestWithParam<int> {};
